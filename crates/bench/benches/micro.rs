@@ -1,0 +1,188 @@
+//! Micro-benchmarks of the hot primitives: MPR selection, route
+//! calculation, wire codec, log parsing, signature matching, trust update,
+//! detection aggregation and the probit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use trustlink_olsr::logging::{parse_line, LogRecord};
+use trustlink_olsr::message::{
+    HelloMessage, LinkCode, LinkGroup, LinkType, Message, MessageBody, NeighborType, Packet,
+    TcMessage,
+};
+use trustlink_olsr::mpr::{select_mprs, MprCandidate};
+use trustlink_olsr::routing::RoutingTable;
+use trustlink_olsr::state::{TopologySet, TwoHopSet};
+use trustlink_olsr::types::{SequenceNumber, Willingness};
+use trustlink_olsr::wire::{decode_packet, encode_packet};
+use trustlink_sim::{NodeId, SimDuration, SimTime};
+use trustlink_trust::prelude::*;
+
+fn bench_mpr_selection(c: &mut Criterion) {
+    // 20 candidates covering 60 two-hop targets with overlap.
+    let candidates: Vec<MprCandidate> = (0..20u16)
+        .map(|i| MprCandidate {
+            addr: NodeId(i),
+            willingness: Willingness::Default,
+            covers: (0..6).map(|k| NodeId(100 + (i * 3 + k) % 60)).collect(),
+            degree: 6,
+        })
+        .collect();
+    let targets: Vec<NodeId> = (0..60u16).map(|i| NodeId(100 + i)).collect();
+    c.bench_function("mpr_selection_20c_60t", |b| {
+        b.iter(|| black_box(select_mprs(black_box(&candidates), black_box(&targets))))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    // A 50-node topology ring with chords.
+    let mut topo = TopologySet::default();
+    let until = SimTime::from_secs(1_000);
+    for i in 0..50u16 {
+        let dests = vec![NodeId((i + 1) % 50), NodeId((i + 7) % 50)];
+        topo.apply_tc(NodeId(i), 1, &dests, until);
+    }
+    let sym = vec![NodeId(1), NodeId(49), NodeId(7)];
+    let two_hop = TwoHopSet::default();
+    c.bench_function("routing_table_50_nodes", |b| {
+        b.iter(|| {
+            black_box(RoutingTable::compute(
+                NodeId(0),
+                black_box(&sym),
+                &two_hop,
+                black_box(&topo),
+                SimTime::ZERO,
+            ))
+        })
+    });
+    c.bench_function("routing_table_50_nodes_avoiding", |b| {
+        b.iter(|| {
+            black_box(RoutingTable::compute_avoiding(
+                NodeId(0),
+                black_box(&sym),
+                &two_hop,
+                black_box(&topo),
+                SimTime::ZERO,
+                Some(NodeId(7)),
+            ))
+        })
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let packet = Packet {
+        seq: SequenceNumber(42),
+        messages: vec![
+            Message {
+                vtime: SimDuration::from_secs(6),
+                originator: NodeId(3),
+                ttl: 1,
+                hop_count: 0,
+                seq: SequenceNumber(7),
+                body: MessageBody::Hello(HelloMessage {
+                    willingness: Willingness::Default,
+                    groups: vec![LinkGroup {
+                        code: LinkCode::new(LinkType::Sym, NeighborType::Sym),
+                        addrs: (0..8).map(NodeId).collect(),
+                    }],
+                }),
+            },
+            Message {
+                vtime: SimDuration::from_secs(15),
+                originator: NodeId(3),
+                ttl: 255,
+                hop_count: 2,
+                seq: SequenceNumber(8),
+                body: MessageBody::Tc(TcMessage {
+                    ansn: 100,
+                    advertised: (0..8).map(NodeId).collect(),
+                }),
+            },
+        ],
+    };
+    c.bench_function("wire_encode_hello_tc", |b| {
+        b.iter(|| black_box(encode_packet(black_box(&packet))))
+    });
+    let bytes = encode_packet(&packet);
+    c.bench_function("wire_decode_hello_tc", |b| {
+        b.iter(|| black_box(decode_packet(black_box(bytes.clone()))).unwrap())
+    });
+}
+
+fn bench_log_pipeline(c: &mut Criterion) {
+    let record = LogRecord::HelloRx {
+        from: NodeId(3),
+        willingness: Willingness::Default,
+        sym: (0..8).map(NodeId).collect(),
+        asym: vec![NodeId(9)],
+    };
+    c.bench_function("log_render", |b| b.iter(|| black_box(record.to_line())));
+    let line = record.to_line();
+    c.bench_function("log_parse", |b| {
+        b.iter(|| black_box(parse_line(black_box(&line))).unwrap())
+    });
+}
+
+fn bench_signature_engine(c: &mut Criterion) {
+    use trustlink_ids::events::DetectionEvent;
+    use trustlink_ids::SignatureEngine;
+    c.bench_function("signature_trigger_confirm_pair", |b| {
+        b.iter(|| {
+            let mut engine = SignatureEngine::with_builtin(SimDuration::from_secs(60));
+            let e1 = DetectionEvent::MprReplaced {
+                replaced: vec![NodeId(9)],
+                replacing: vec![NodeId(3)],
+                at: SimTime::from_secs(1),
+            };
+            let e4 = DetectionEvent::NotCovering {
+                mpr: NodeId(3),
+                neighbor: NodeId(7),
+                at: SimTime::from_secs(2),
+            };
+            engine.observe(&e1);
+            black_box(engine.observe(&e4))
+        })
+    });
+}
+
+fn bench_trust_primitives(c: &mut Criterion) {
+    let update = TrustUpdate::default();
+    let evidences =
+        [EvidenceKind::TruthfulTestimony, EvidenceKind::NormalRelaying, EvidenceKind::FalseTestimony];
+    c.bench_function("trust_update_step", |b| {
+        b.iter(|| black_box(update.step(black_box(TrustValue::DEFAULT), black_box(&evidences))))
+    });
+
+    let answers: Vec<(TrustValue, Answer)> = (0..14)
+        .map(|i| {
+            let t = TrustValue::new(0.1 + (i as f64) * 0.05);
+            let a = if i < 4 { Answer::Confirm } else { Answer::Deny };
+            (t, a)
+        })
+        .collect();
+    c.bench_function("detection_value_14_witnesses", |b| {
+        b.iter(|| black_box(detection_value(black_box(answers.iter().copied()))))
+    });
+
+    let samples: Vec<f64> = (0..14).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+    c.bench_function("margin_of_error_14", |b| {
+        b.iter(|| black_box(margin_of_error(black_box(&samples), 0.95)))
+    });
+
+    c.bench_function("probit", |b| b.iter(|| black_box(probit(black_box(0.975)))));
+
+    c.bench_function("entropy_trust_roundtrip", |b| {
+        b.iter(|| {
+            let t = trustlink_trust::entropy::trust_from_probability(black_box(0.8));
+            black_box(trustlink_trust::entropy::probability_from_trust(t))
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(50);
+    targets = bench_mpr_selection, bench_routing, bench_wire, bench_log_pipeline,
+              bench_signature_engine, bench_trust_primitives
+}
+criterion_main!(micro);

@@ -1,0 +1,27 @@
+//! Regenerates **Figure 3 — Impact of liars on the detection**: the
+//! trust-weighted investigation result `Detect(A, I)` per round, one curve
+//! per liar fraction (≈14 %, ≈29 % and ≈43 % of the witnesses — the paper
+//! quotes 26.3 % and 43.2 %).
+//!
+//! Usage: `cargo run -p trustlink-bench --bin fig3 [-- --csv]`
+
+use trustlink_bench::{assert_fig3_shape, emit, paper_config};
+use trustlink_core::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fig = fig3_liar_impact(paper_config(), &paper_liar_counts(), 25);
+    emit(&fig, &args);
+
+    eprintln!("round-10 and final Detect per liar fraction:");
+    for s in &fig.series {
+        eprintln!(
+            "  {:>12}: round 10 = {:+.3}, round 25 = {:+.3}",
+            s.label,
+            s.y_at_round(10).unwrap(),
+            s.last_y().unwrap()
+        );
+    }
+    eprintln!("paper claims: < -0.4 by round 10 at every fraction; ≈ -0.8 at round 25");
+    assert_fig3_shape(&fig);
+}

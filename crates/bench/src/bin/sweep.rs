@@ -1,0 +1,55 @@
+//! The extension experiments: the §IV-C confidence-interval sweep, the
+//! ablation suite (`--ablation`), detection latency vs liar fraction
+//! (`--latency`) and message overhead (`--overhead`).
+//!
+//! Usage:
+//!   `cargo run -p trustlink-bench --bin sweep [-- --csv]`
+//!   `cargo run -p trustlink-bench --bin sweep -- --ablation [--csv]`
+//!   `cargo run -p trustlink-bench --bin sweep -- --latency [--csv]`
+//!   `cargo run -p trustlink-bench --bin sweep -- --overhead [--csv]`
+
+use trustlink_bench::{emit, paper_config};
+use trustlink_core::experiments::{conviction_latency, overhead_comparison};
+use trustlink_core::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--latency") {
+        let fig = conviction_latency(paper_config(), &[0, 1, 2, 3, 4, 5, 6], 25);
+        emit(&fig, &args);
+        eprintln!("first conviction round per liar fraction:");
+        for (x, y) in &fig.series[0].points {
+            eprintln!("  {x:>5.1}% liars -> round {y:.0}");
+        }
+    } else if args.iter().any(|a| a == "--overhead") {
+        let fig = overhead_comparison(77, 60);
+        emit(&fig, &args);
+        let plain = fig.series[0].points[0].1;
+        let benign = fig.series[0].points[1].1;
+        let attacked = fig.series[0].points[2].1;
+        eprintln!("frames per node-second:");
+        eprintln!("  plain OLSR           {plain:.2}");
+        eprintln!("  detectors, benign    {benign:.2}  (+{:.1}%)", 100.0 * (benign / plain - 1.0));
+        eprintln!("  detectors + attacker {attacked:.2}  (+{:.1}%)", 100.0 * (attacked / plain - 1.0));
+    } else if args.iter().any(|a| a == "--ablation") {
+        let fig = ablations(paper_config(), 25);
+        emit(&fig, &args);
+        eprintln!("final Detect per variant:");
+        for s in &fig.series {
+            eprintln!("  {:>20}: {:+.3}", s.label, s.last_y().unwrap());
+        }
+    } else {
+        let fig = confidence_sweep(&[0.90, 0.95, 0.99], 40);
+        emit(&fig, &args);
+        eprintln!("margin of error at n=14 witnesses (the paper's roster):");
+        for s in &fig.series {
+            let at14 = s
+                .points
+                .iter()
+                .find(|(x, _)| (*x - 14.0).abs() < 1e-9)
+                .map(|(_, y)| *y)
+                .unwrap();
+            eprintln!("  {}: ε = {at14:.3}", s.label);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! A small ASCII line-chart renderer for [`Figure`]s, so the figure
+//! binaries can show the paper's plots directly in a terminal.
+
+use crate::experiments::Figure;
+
+/// Renders `figure` as an ASCII chart of roughly `width` × `height`
+/// characters (plus axes and legend).
+///
+/// Each series is drawn with its own glyph; later series overwrite earlier
+/// ones where they collide (collisions show `*`).
+pub fn render(figure: &Figure, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let glyphs = ['o', '+', 'x', '#', '@', '%', '&', '=', '~', '^'];
+
+    // Bounds.
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for s in &figure.series {
+        for &(x, y) in &s.points {
+            if !y.is_finite() {
+                continue;
+            }
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+    }
+    if !min_x.is_finite() {
+        return format!("{}\n(no finite data)\n", figure.title);
+    }
+    if (max_y - min_y).abs() < 1e-12 {
+        max_y = min_y + 1.0;
+    }
+    if (max_x - min_x).abs() < 1e-12 {
+        max_x = min_x + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in figure.series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for &(x, y) in &s.points {
+            if !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - min_x) / (max_x - min_x) * (width - 1) as f64).round() as usize;
+            let cy = ((y - min_y) / (max_y - min_y) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            let cell = &mut grid[row][cx.min(width - 1)];
+            *cell = if *cell == ' ' || *cell == glyph { glyph } else { '*' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&figure.title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = max_y - (max_y - min_y) * i as f64 / (height - 1) as f64;
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{y_here:>8.2} |{line}\n"));
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>8}  {:<w$.2}{:>r$.2}\n",
+        figure.y_label,
+        min_x,
+        max_x,
+        w = width / 2,
+        r = width - width / 2
+    ));
+    out.push_str(&format!("x: {}\n", figure.x_label));
+    for (si, s) in figure.series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", glyphs[si % glyphs.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Series;
+
+    fn figure() -> Figure {
+        Figure {
+            title: "Test".into(),
+            x_label: "round".into(),
+            y_label: "trust".into(),
+            series: vec![
+                Series { label: "up".into(), points: vec![(1.0, 0.0), (2.0, 0.5), (3.0, 1.0)] },
+                Series { label: "down".into(), points: vec![(1.0, 1.0), (2.0, 0.5), (3.0, 0.0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let out = render(&figure(), 40, 10);
+        assert!(out.contains("Test"));
+        assert!(out.contains("x: round"));
+        assert!(out.contains("o up"));
+        assert!(out.contains("+ down"));
+        // Collision where the lines cross.
+        assert!(out.contains('*'), "no collision marker:\n{out}");
+    }
+
+    #[test]
+    fn handles_empty_and_flat_data() {
+        let empty = Figure {
+            title: "E".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        assert!(render(&empty, 40, 10).contains("no finite data"));
+
+        let flat = Figure {
+            title: "F".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series { label: "c".into(), points: vec![(1.0, 0.4), (2.0, 0.4)] }],
+        };
+        let out = render(&flat, 40, 10);
+        assert!(out.contains('o'));
+    }
+
+    #[test]
+    fn infinite_values_skipped() {
+        let fig = Figure {
+            title: "I".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                label: "s".into(),
+                points: vec![(1.0, f64::INFINITY), (2.0, 1.0), (3.0, 2.0)],
+            }],
+        };
+        let out = render(&fig, 30, 8);
+        assert!(out.contains('o'));
+    }
+
+    #[test]
+    fn minimum_dimensions_enforced() {
+        let out = render(&figure(), 1, 1);
+        assert!(out.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,124 @@
+//! CSV rendering of [`Figure`]s (hand-rolled — no extra dependency), for
+//! piping experiment output into external plotting tools.
+
+use crate::experiments::Figure;
+
+/// Renders a figure as CSV: first column `x`, one column per series.
+///
+/// Rows are the union of all x values (sorted); series without a point at
+/// some x leave the cell empty. Non-finite values render empty too. Labels
+/// containing commas or quotes are quoted per RFC 4180.
+pub fn to_csv(figure: &Figure) -> String {
+    let mut xs: Vec<f64> = figure
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("x values must not be NaN"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut out = String::new();
+    out.push_str("x");
+    for s in &figure.series {
+        out.push(',');
+        out.push_str(&escape(&s.label));
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&trim_float(x));
+        for s in &figure.series {
+            out.push(',');
+            let y = s
+                .points
+                .iter()
+                .find(|&&(px, _)| (px - x).abs() < 1e-12)
+                .map(|&(_, y)| y);
+            if let Some(y) = y {
+                if y.is_finite() {
+                    out.push_str(&trim_float(y));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-12 && v.abs() < 1e15 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{Figure, Series};
+
+    fn fig() -> Figure {
+        Figure {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series { label: "a".into(), points: vec![(1.0, 0.5), (2.0, 0.25)] },
+                Series { label: "b,c".into(), points: vec![(1.0, -1.0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn header_and_rows() {
+        let csv = to_csv(&fig());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,\"b,c\"");
+        assert_eq!(lines[1], "1,0.500000,-1");
+        assert_eq!(lines[2], "2,0.250000,");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("with \"q\""), "\"with \"\"q\"\"\"");
+    }
+
+    #[test]
+    fn integers_render_clean() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(-0.8), "-0.800000");
+    }
+
+    #[test]
+    fn infinite_cells_left_empty() {
+        let f = Figure {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series { label: "a".into(), points: vec![(1.0, f64::INFINITY)] }],
+        };
+        let csv = to_csv(&f);
+        assert_eq!(csv.lines().nth(1).unwrap(), "1,");
+    }
+
+    #[test]
+    fn empty_figure_is_header_only() {
+        let f = Figure {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        assert_eq!(to_csv(&f), "x\n");
+    }
+}

@@ -1,0 +1,126 @@
+//! Trust-recommendation exchange: the live use of formulas (6) and (7).
+//!
+//! §IV-A: "When the observations of A are not sufficient, additional
+//! evidences provided by other nodes are gleaned." Detectors periodically
+//! send their neighbors a digest of their own trust ledger; the receiver
+//! stores it as *recommendations* and can evaluate nodes it has never
+//! interacted with by multipath propagation (formula 7), discounting each
+//! recommender by its own trustworthiness (formula 6).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use trustlink_sim::NodeId;
+use trustlink_trust::value::TrustValue;
+
+/// The gossip payload: a digest of the sender's trust ledger.
+///
+/// Serialized trust values are quantized to 1/10000 — far below any
+/// behavioural threshold in the system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustGossip {
+    /// `(peer, trust)` entries from the sender's ledger.
+    pub entries: Vec<(NodeId, TrustValue)>,
+}
+
+/// Wire tag distinguishing gossip from investigation messages (tags 1, 2).
+const TAG: u8 = 3;
+
+/// Decoding error for [`TrustGossip`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadGossip;
+
+impl std::fmt::Display for BadGossip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("malformed trust gossip")
+    }
+}
+
+impl std::error::Error for BadGossip {}
+
+impl TrustGossip {
+    /// Serializes to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(3 + self.entries.len() * 4);
+        buf.put_u8(TAG);
+        buf.put_u16(u16::try_from(self.entries.len()).expect("gossip too large"));
+        for (node, trust) in &self.entries {
+            buf.put_u16(node.0);
+            buf.put_i16((trust.get() * 10_000.0).round() as i16);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadGossip`] on a wrong tag, truncation or trailing bytes.
+    pub fn decode(mut bytes: Bytes) -> Result<Self, BadGossip> {
+        if bytes.len() < 3 || bytes[0] != TAG {
+            return Err(BadGossip);
+        }
+        bytes.advance(1);
+        let count = bytes.get_u16() as usize;
+        if bytes.remaining() != count * 4 {
+            return Err(BadGossip);
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let node = NodeId(bytes.get_u16());
+            let trust = TrustValue::new(f64::from(bytes.get_i16()) / 10_000.0);
+            entries.push((node, trust));
+        }
+        Ok(TrustGossip { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = TrustGossip {
+            entries: vec![
+                (NodeId(1), TrustValue::new(0.4)),
+                (NodeId(2), TrustValue::new(-1.0)),
+                (NodeId(65_000), TrustValue::new(1.0)),
+            ],
+        };
+        let decoded = TrustGossip::decode(g.encode()).unwrap();
+        assert_eq!(decoded.entries.len(), 3);
+        for ((n1, t1), (n2, t2)) in g.entries.iter().zip(&decoded.entries) {
+            assert_eq!(n1, n2);
+            assert!((t1.get() - t2.get()).abs() < 1e-3, "{t1} vs {t2}");
+        }
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let g = TrustGossip { entries: vec![] };
+        assert_eq!(TrustGossip::decode(g.encode()).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(TrustGossip::decode(Bytes::from_static(b"")).is_err());
+        assert!(TrustGossip::decode(Bytes::from_static(b"\x01\x00\x00")).is_err());
+        // Wrong length for the declared count:
+        assert!(TrustGossip::decode(Bytes::from_static(b"\x03\x00\x02\x00\x01\x10\x00")).is_err());
+        // Trailing garbage:
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG);
+        buf.put_u16(0);
+        buf.put_u8(9);
+        assert!(TrustGossip::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn quantization_error_bounded() {
+        for i in -10..=10 {
+            let t = TrustValue::new(f64::from(i) / 10.0 + 0.00007);
+            let g = TrustGossip { entries: vec![(NodeId(0), t)] };
+            let d = TrustGossip::decode(g.encode()).unwrap();
+            assert!((d.entries[0].1.get() - t.get()).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,632 @@
+//! Detection events and their extraction from audit logs.
+//!
+//! §III-B of the paper enumerates the observations relevant to a link
+//! spoofing attack:
+//!
+//! * **E1** — an MPR is replaced;
+//! * **E2** — a previously-selected MPR is detected misbehaving (drops,
+//!   forges or misrelays messages);
+//! * **E3** — an MPR is the only provider of connectivity to some node
+//!   (suspicious but never sufficient on its own);
+//! * **E4** — an MPR does not cover its adjacent neighbors (established by
+//!   interrogating them);
+//! * **E5** — an MPR provides connectivity to a non-neighbor (same).
+//!
+//! E1–E3 are extracted *locally* from the node's own log lines by
+//! [`EventExtractor`]; E4/E5 arrive as answers during the cooperative
+//! investigation and are produced by
+//! [`crate::investigation::Investigation`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use trustlink_olsr::logging::LogRecord;
+use trustlink_olsr::logging::ParseLogError;
+use trustlink_sim::{NodeId, SimTime};
+
+/// How urgently an event calls for action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Criticality {
+    /// Bookkeeping only.
+    Informational,
+    /// Warrants a cooperative investigation (the paper's E1/E2 triggers).
+    Suspicious,
+    /// Direct evidence of an attack (confirmed E4/E5).
+    Critical,
+}
+
+/// A detection-relevant observation about one suspect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectionEvent {
+    /// E1: the MPR set changed such that `replaced` lost MPR status while
+    /// `replacing` gained it. The *replacing* MPR is the prime suspect
+    /// (Expression (1): inserting a fake neighbor guarantees selection).
+    MprReplaced {
+        /// MPRs that lost their status.
+        replaced: Vec<NodeId>,
+        /// MPRs that gained status — the suspects.
+        replacing: Vec<NodeId>,
+        /// When the replacement was observed.
+        at: SimTime,
+    },
+    /// E2: a currently- or previously-selected MPR shows misbehaviour.
+    MprMisbehaving {
+        /// The suspect MPR.
+        mpr: NodeId,
+        /// What was observed.
+        reason: MisbehaviourReason,
+        /// When.
+        at: SimTime,
+    },
+    /// E3: `mpr` is the sole provider of connectivity to `only_via` —
+    /// suspicious but not actionable alone (sparse networks look the same).
+    SoleConnectivity {
+        /// The MPR in question.
+        mpr: NodeId,
+        /// Nodes reachable only through it.
+        only_via: Vec<NodeId>,
+        /// When.
+        at: SimTime,
+    },
+    /// E4: a witness denied being covered by the suspect (investigation
+    /// answer).
+    NotCovering {
+        /// The suspect MPR.
+        mpr: NodeId,
+        /// The adjacent neighbor it fails to cover.
+        neighbor: NodeId,
+        /// When the answer arrived.
+        at: SimTime,
+    },
+    /// E5: the suspect advertises connectivity to a node that is not its
+    /// neighbor (or does not exist).
+    CoveringNonNeighbor {
+        /// The suspect MPR.
+        mpr: NodeId,
+        /// The claimed-but-false neighbor.
+        claimed: NodeId,
+        /// When established.
+        at: SimTime,
+    },
+}
+
+/// The concrete misbehaviour behind an E2 event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MisbehaviourReason {
+    /// The MPR's HELLO claims a symmetric neighbor entirely unknown to the
+    /// local view of the network (candidate non-existent node,
+    /// Expression (1)).
+    UnknownClaimedNeighbor(NodeId),
+    /// The MPR stopped originating TCs while still holding selectors.
+    TcSilence,
+    /// A frame from the MPR failed to decode (forged/corrupt).
+    MalformedTraffic,
+    /// The MPR's advertised neighbor set never changes although the
+    /// neighborhood around it does (the paper's "continues to advertise
+    /// identical 1-hop neighbors despite recent changes").
+    StaleAdvertisement,
+    /// A MID claimed an alias that is another known node's main address
+    /// (MID spoofing, §II: "a node that holds several interfaces ...
+    /// should be distinguished" from identity theft).
+    HijackedAlias(NodeId),
+}
+
+impl DetectionEvent {
+    /// The node this event incriminates (the first suspect for compound
+    /// events).
+    pub fn suspect(&self) -> Option<NodeId> {
+        match self {
+            DetectionEvent::MprReplaced { replacing, .. } => replacing.first().copied(),
+            DetectionEvent::MprMisbehaving { mpr, .. }
+            | DetectionEvent::SoleConnectivity { mpr, .. }
+            | DetectionEvent::NotCovering { mpr, .. }
+            | DetectionEvent::CoveringNonNeighbor { mpr, .. } => Some(*mpr),
+        }
+    }
+
+    /// All suspects named by the event.
+    pub fn suspects(&self) -> Vec<NodeId> {
+        match self {
+            DetectionEvent::MprReplaced { replacing, .. } => replacing.clone(),
+            other => other.suspect().into_iter().collect(),
+        }
+    }
+
+    /// When the event was observed.
+    pub fn at(&self) -> SimTime {
+        match self {
+            DetectionEvent::MprReplaced { at, .. }
+            | DetectionEvent::MprMisbehaving { at, .. }
+            | DetectionEvent::SoleConnectivity { at, .. }
+            | DetectionEvent::NotCovering { at, .. }
+            | DetectionEvent::CoveringNonNeighbor { at, .. } => *at,
+        }
+    }
+
+    /// The criticality class of the event (drives whether an investigation
+    /// is launched — the paper's "depending on their level of criticality").
+    pub fn criticality(&self) -> Criticality {
+        match self {
+            DetectionEvent::MprReplaced { .. } | DetectionEvent::MprMisbehaving { .. } => {
+                Criticality::Suspicious
+            }
+            DetectionEvent::SoleConnectivity { .. } => Criticality::Informational,
+            DetectionEvent::NotCovering { .. } | DetectionEvent::CoveringNonNeighbor { .. } => {
+                Criticality::Critical
+            }
+        }
+    }
+}
+
+/// Incrementally rebuilds a routing view from audit-log lines and emits
+/// E1–E3 (plus E2 heuristics) as they become visible.
+///
+/// The extractor sees **only what the log says** — it deliberately has no
+/// access to protocol internals, mirroring the paper's architecture.
+#[derive(Debug, Clone, Default)]
+pub struct EventExtractor {
+    /// Current MPR set as last logged.
+    mprs: Vec<NodeId>,
+    /// Per-neighbor claimed symmetric neighbor sets from their HELLOs.
+    claims: BTreeMap<NodeId, Vec<NodeId>>,
+    /// When each neighbor's claim last *changed* (not merely refreshed).
+    claim_changed_at: BTreeMap<NodeId, SimTime>,
+    /// Every address ever seen in any log line: the local estimate of the
+    /// network's node population `N`.
+    known: BTreeSet<NodeId>,
+    /// 2-hop reachability as logged: target -> vias.
+    vias: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// Last time a TC from each originator was logged.
+    last_tc: BTreeMap<NodeId, SimTime>,
+    /// Symmetric 1-hop neighborhood as logged.
+    neighbors: BTreeSet<NodeId>,
+}
+
+impl EventExtractor {
+    /// A fresh extractor with an empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one parsed log record; returns any detection events it
+    /// triggers.
+    pub fn ingest(&mut self, at: SimTime, record: &LogRecord) -> Vec<DetectionEvent> {
+        let mut events = Vec::new();
+        // Every address mentioned anywhere enters the known-population set.
+        self.absorb_addresses(record);
+        match record {
+            LogRecord::MprSet { mprs } => {
+                let old = std::mem::replace(&mut self.mprs, mprs.clone());
+                let replaced: Vec<NodeId> =
+                    old.iter().copied().filter(|m| !mprs.contains(m)).collect();
+                let replacing: Vec<NodeId> =
+                    mprs.iter().copied().filter(|m| !old.contains(m)).collect();
+                if !replaced.is_empty() && !replacing.is_empty() {
+                    events.push(DetectionEvent::MprReplaced { replaced, replacing, at });
+                }
+            }
+            LogRecord::HelloRx { from, sym, .. } => {
+                // E2 heuristic: claiming a node nobody has ever heard of.
+                for claimed in sym {
+                    if *claimed != *from && !self.known.contains(claimed) {
+                        events.push(DetectionEvent::MprMisbehaving {
+                            mpr: *from,
+                            reason: MisbehaviourReason::UnknownClaimedNeighbor(*claimed),
+                            at,
+                        });
+                        self.known.insert(*claimed);
+                    }
+                }
+                let changed = self.claims.get(from).is_none_or(|prev| prev != sym);
+                if changed {
+                    self.claim_changed_at.insert(*from, at);
+                }
+                self.claims.insert(*from, sym.clone());
+            }
+            LogRecord::TcRx { originator, advertised, .. } => {
+                // TC-spoofing heuristic (§III-A: "detection strategy [is]
+                // quite identical" for TC tampering): advertising a
+                // selector nobody has ever been heard of.
+                for sel in advertised {
+                    if *sel != *originator && !self.known.contains(sel) {
+                        events.push(DetectionEvent::MprMisbehaving {
+                            mpr: *originator,
+                            reason: MisbehaviourReason::UnknownClaimedNeighbor(*sel),
+                            at,
+                        });
+                        self.known.insert(*sel);
+                    }
+                }
+                self.last_tc.insert(*originator, at);
+            }
+            LogRecord::MidRx { originator, aliases } => {
+                // MID-spoofing heuristic: claiming an alias that is already
+                // a known node's main address hijacks that identity.
+                for alias in aliases {
+                    if self.known.contains(alias) && *alias != *originator {
+                        events.push(DetectionEvent::MprMisbehaving {
+                            mpr: *originator,
+                            reason: MisbehaviourReason::HijackedAlias(*alias),
+                            at,
+                        });
+                    }
+                }
+            }
+            LogRecord::NeighborAdded { addr } => {
+                self.neighbors.insert(*addr);
+            }
+            LogRecord::NeighborLost { addr } => {
+                self.neighbors.remove(addr);
+            }
+            LogRecord::TwoHopAdded { via, addr } => {
+                self.vias.entry(*addr).or_default().insert(*via);
+            }
+            LogRecord::TwoHopLost { via, addr } => {
+                if let Some(set) = self.vias.get_mut(addr) {
+                    set.remove(via);
+                    if set.is_empty() {
+                        self.vias.remove(addr);
+                    }
+                }
+            }
+            LogRecord::DecodeError { from } => {
+                events.push(DetectionEvent::MprMisbehaving {
+                    mpr: *from,
+                    reason: MisbehaviourReason::MalformedTraffic,
+                    at,
+                });
+            }
+            _ => {}
+        }
+        events
+    }
+
+    /// Convenience: parse a raw text line and ingest it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParseLogError`] from the log parser.
+    pub fn ingest_line(
+        &mut self,
+        at: SimTime,
+        line: &str,
+    ) -> Result<Vec<DetectionEvent>, ParseLogError> {
+        let record = trustlink_olsr::logging::parse_line(line)?;
+        Ok(self.ingest(at, &record))
+    }
+
+    /// Periodic sweep for non-event-driven checks (the paper's
+    /// "periodical/random checks"): E3 sole-connectivity and E2 TC-silence.
+    ///
+    /// `tc_silence_after`: how long an MPR may go without originating TCs
+    /// before being flagged (pass roughly 3 × TC interval).
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        tc_silence_after: trustlink_sim::SimDuration,
+    ) -> Vec<DetectionEvent> {
+        let mut events = Vec::new();
+
+        // E3: MPRs that are the only via for some 2-hop target.
+        for &mpr in &self.mprs {
+            let only_via: Vec<NodeId> = self
+                .vias
+                .iter()
+                .filter(|(_, vias)| vias.len() == 1 && vias.contains(&mpr))
+                .map(|(&target, _)| target)
+                .collect();
+            if !only_via.is_empty() {
+                events.push(DetectionEvent::SoleConnectivity { mpr, only_via, at: now });
+            }
+        }
+
+        // E2: an MPR of ours that has stopped originating TCs entirely.
+        for &mpr in &self.mprs {
+            if let Some(&last) = self.last_tc.get(&mpr) {
+                if now.saturating_since(last) > tc_silence_after {
+                    events.push(DetectionEvent::MprMisbehaving {
+                        mpr,
+                        reason: MisbehaviourReason::TcSilence,
+                        at: now,
+                    });
+                }
+            }
+        }
+        events
+    }
+
+    fn absorb_addresses(&mut self, record: &LogRecord) {
+        let mut add = |n: NodeId| {
+            self.known.insert(n);
+        };
+        match record {
+            LogRecord::HelloRx { from, sym, asym, .. } => {
+                add(*from);
+                // Claimed addresses are absorbed *after* the unknown-claim
+                // check in `ingest`; only the sender is absorbed here.
+                let _ = (sym, asym);
+            }
+            LogRecord::TcRx { originator, sender, .. } => {
+                add(*originator);
+                add(*sender);
+                // Advertised selectors are absorbed *after* the
+                // unknown-selector check in `ingest`.
+            }
+            LogRecord::NeighborAdded { addr } | LogRecord::NeighborLost { addr } => add(*addr),
+            LogRecord::TwoHopAdded { via, addr } | LogRecord::TwoHopLost { via, addr } => {
+                add(*via);
+                add(*addr);
+            }
+            LogRecord::RouteAdded { dest, next_hop, .. }
+            | LogRecord::RouteChanged { dest, next_hop, .. } => {
+                add(*dest);
+                add(*next_hop);
+            }
+            LogRecord::MprSet { mprs } => {
+                for m in mprs {
+                    add(*m);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- views used by the investigation planner -------------------------
+
+    /// The current MPR set as last logged.
+    pub fn current_mprs(&self) -> &[NodeId] {
+        &self.mprs
+    }
+
+    /// What `neighbor` last claimed as its symmetric neighbors.
+    pub fn claimed_neighbors_of(&self, neighbor: NodeId) -> Option<&[NodeId]> {
+        self.claims.get(&neighbor).map(Vec::as_slice)
+    }
+
+    /// When `neighbor`'s claims last changed.
+    pub fn claim_changed_at(&self, neighbor: NodeId) -> Option<SimTime> {
+        self.claim_changed_at.get(&neighbor).copied()
+    }
+
+    /// Every address this node has ever seen mentioned.
+    pub fn known_nodes(&self) -> &BTreeSet<NodeId> {
+        &self.known
+    }
+
+    /// The 1-hop vias through which `target` is reachable.
+    pub fn vias_for(&self, target: NodeId) -> Vec<NodeId> {
+        self.vias.get(&target).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// The current symmetric neighborhood as logged.
+    pub fn neighbors(&self) -> &BTreeSet<NodeId> {
+        &self.neighbors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlink_olsr::types::Willingness;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn hello(from: u16, sym: &[u16]) -> LogRecord {
+        LogRecord::HelloRx {
+            from: NodeId(from),
+            willingness: Willingness::Default,
+            sym: sym.iter().map(|&n| NodeId(n)).collect(),
+            asym: vec![],
+        }
+    }
+
+    #[test]
+    fn mpr_replacement_detected() {
+        let mut ex = EventExtractor::new();
+        assert!(ex.ingest(t(1), &LogRecord::MprSet { mprs: vec![NodeId(1)] }).is_empty());
+        // Pure addition is not a replacement.
+        assert!(ex
+            .ingest(t(2), &LogRecord::MprSet { mprs: vec![NodeId(1), NodeId(2)] })
+            .is_empty());
+        // 1 replaced by 3: E1.
+        let events =
+            ex.ingest(t(3), &LogRecord::MprSet { mprs: vec![NodeId(2), NodeId(3)] });
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            DetectionEvent::MprReplaced { replaced, replacing, at } => {
+                assert_eq!(replaced, &vec![NodeId(1)]);
+                assert_eq!(replacing, &vec![NodeId(3)]);
+                assert_eq!(*at, t(3));
+            }
+            other => panic!("wrong event {other:?}"),
+        }
+        assert_eq!(events[0].criticality(), Criticality::Suspicious);
+        assert_eq!(events[0].suspect(), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn unknown_claimed_neighbor_flagged_once() {
+        let mut ex = EventExtractor::new();
+        // Teach the extractor about nodes 1, 2 via normal traffic.
+        ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(1) });
+        ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(2) });
+        // N1 claims the never-seen N99.
+        let events = ex.ingest(t(1), &hello(1, &[2, 99]));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            DetectionEvent::MprMisbehaving {
+                mpr: NodeId(1),
+                reason: MisbehaviourReason::UnknownClaimedNeighbor(NodeId(99)),
+                ..
+            }
+        ));
+        // Second identical claim: N99 is now "known", no re-flag.
+        assert!(ex.ingest(t(2), &hello(1, &[2, 99])).is_empty());
+    }
+
+    #[test]
+    fn sole_connectivity_on_tick() {
+        let mut ex = EventExtractor::new();
+        ex.ingest(t(0), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
+        ex.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(10) });
+        ex.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(11) });
+        ex.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(11) });
+        let events = ex.tick(t(5), trustlink_sim::SimDuration::from_secs(100));
+        let e3: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                DetectionEvent::SoleConnectivity { mpr, only_via, .. } => {
+                    Some((*mpr, only_via.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(e3, vec![(NodeId(1), vec![NodeId(10)])]);
+        assert_eq!(events[0].criticality(), Criticality::Informational);
+    }
+
+    #[test]
+    fn tc_silence_flagged() {
+        let mut ex = EventExtractor::new();
+        ex.ingest(t(0), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
+        ex.ingest(
+            t(1),
+            &LogRecord::TcRx {
+                originator: NodeId(1),
+                sender: NodeId(1),
+                ansn: 1,
+                advertised: vec![NodeId(0)],
+            },
+        );
+        // Within the allowance: quiet.
+        assert!(ex
+            .tick(t(5), trustlink_sim::SimDuration::from_secs(10))
+            .iter()
+            .all(|e| !matches!(
+                e,
+                DetectionEvent::MprMisbehaving { reason: MisbehaviourReason::TcSilence, .. }
+            )));
+        // Long after: flagged.
+        let events = ex.tick(t(30), trustlink_sim::SimDuration::from_secs(10));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DetectionEvent::MprMisbehaving {
+                mpr: NodeId(1),
+                reason: MisbehaviourReason::TcSilence,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn tc_advertising_unknown_selector_flagged() {
+        let mut ex = EventExtractor::new();
+        ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(1) });
+        let events = ex.ingest(
+            t(1),
+            &LogRecord::TcRx {
+                originator: NodeId(5),
+                sender: NodeId(1),
+                ansn: 1,
+                advertised: vec![NodeId(1), NodeId(99)], // N99 never seen
+            },
+        );
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            DetectionEvent::MprMisbehaving {
+                mpr: NodeId(5),
+                reason: MisbehaviourReason::UnknownClaimedNeighbor(NodeId(99)),
+                ..
+            }
+        ));
+        // Re-advertising the now-known selector does not re-flag.
+        let again = ex.ingest(
+            t(2),
+            &LogRecord::TcRx {
+                originator: NodeId(5),
+                sender: NodeId(1),
+                ansn: 2,
+                advertised: vec![NodeId(99)],
+            },
+        );
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn mid_hijacking_known_address_flagged() {
+        let mut ex = EventExtractor::new();
+        ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(7) });
+        // N5 claims N7 (a known main address) as its alias: hijack.
+        let events = ex.ingest(
+            t(1),
+            &LogRecord::MidRx { originator: NodeId(5), aliases: vec![NodeId(7)] },
+        );
+        assert!(matches!(
+            events[0],
+            DetectionEvent::MprMisbehaving {
+                mpr: NodeId(5),
+                reason: MisbehaviourReason::HijackedAlias(NodeId(7)),
+                ..
+            }
+        ));
+        // A fresh, unknown alias is legitimate MID usage: no event.
+        let ok = ex.ingest(
+            t(2),
+            &LogRecord::MidRx { originator: NodeId(6), aliases: vec![NodeId(60)] },
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn decode_error_is_misbehaviour() {
+        let mut ex = EventExtractor::new();
+        let events = ex.ingest(t(2), &LogRecord::DecodeError { from: NodeId(4) });
+        assert!(matches!(
+            events[0],
+            DetectionEvent::MprMisbehaving {
+                mpr: NodeId(4),
+                reason: MisbehaviourReason::MalformedTraffic,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn views_track_log_content() {
+        let mut ex = EventExtractor::new();
+        ex.ingest(t(0), &hello(1, &[2, 3]));
+        ex.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(3) });
+        ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(1) });
+        assert_eq!(
+            ex.claimed_neighbors_of(NodeId(1)),
+            Some(&[NodeId(2), NodeId(3)][..])
+        );
+        assert_eq!(ex.vias_for(NodeId(3)), vec![NodeId(1)]);
+        assert!(ex.neighbors().contains(&NodeId(1)));
+        assert!(ex.known_nodes().contains(&NodeId(3)));
+        assert_eq!(ex.claim_changed_at(NodeId(1)), Some(t(0)));
+        // Refresh without change keeps the change timestamp.
+        ex.ingest(t(5), &hello(1, &[2, 3]));
+        assert_eq!(ex.claim_changed_at(NodeId(1)), Some(t(0)));
+        // A real change updates it.
+        ex.ingest(t(6), &hello(1, &[2]));
+        assert_eq!(ex.claim_changed_at(NodeId(1)), Some(t(6)));
+    }
+
+    #[test]
+    fn ingest_line_parses_and_extracts() {
+        let mut ex = EventExtractor::new();
+        ex.ingest_line(t(0), "MPR_SET mprs=[N1]").unwrap();
+        ex.ingest_line(t(1), "MPR_SET mprs=[N2]").unwrap();
+        // The replacement should have been emitted on the second line;
+        // verify with a fresh extractor capturing the return value.
+        let mut ex2 = EventExtractor::new();
+        ex2.ingest_line(t(0), "MPR_SET mprs=[N1]").unwrap();
+        let events = ex2.ingest_line(t(1), "MPR_SET mprs=[N2]").unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(ex.ingest_line(t(2), "garbage line").is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! The cooperative investigation of Algorithm 1.
+//!
+//! When a trigger event (E1/E2) incriminates a suspicious MPR `I`, the
+//! investigator interrogates witnesses — the nodes `I` *claims* as
+//! symmetric neighbors — asking each: *"is the link between you and `I`
+//! real?"*. Requests and answers travel as unicast data that must route
+//! **around** `I` (and, when that fails, the paper falls back to other
+//! covering MPRs and finally any multi-hop path — our data plane's
+//! avoidance option realizes the same policy).
+//!
+//! This module provides the pieces the detector composes:
+//!
+//! * [`InvestigationMessage`] — the request/answer wire format;
+//! * [`Investigation`] — one open case: witnesses, answers, deadline;
+//! * [`plan_witnesses`] — Algorithm 1 lines 2–4 (who to interrogate).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use trustlink_sim::{NodeId, SimDuration, SimTime};
+
+use crate::events::EventExtractor;
+
+/// Tunables for the investigation protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvestigationConfig {
+    /// How long to wait for answers before tallying with `e = 0` for the
+    /// silent witnesses.
+    pub timeout: SimDuration,
+    /// Upper bound on interrogated witnesses per case.
+    pub max_witnesses: usize,
+}
+
+impl Default for InvestigationConfig {
+    fn default() -> Self {
+        InvestigationConfig { timeout: SimDuration::from_secs(10), max_witnesses: 16 }
+    }
+}
+
+/// The investigation protocol messages, carried as data-plane payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvestigationMessage {
+    /// "Witness, is the link `suspect`–`contested` real, as far as you can
+    /// tell?" — the paper's contestation about one advertised link.
+    VerifyLinkRequest {
+        /// Case identifier (investigator-scoped).
+        case: u64,
+        /// The suspicious MPR.
+        suspect: NodeId,
+        /// The advertised link peer under dispute.
+        contested: NodeId,
+    },
+    /// The witness's answer.
+    VerifyLinkResponse {
+        /// Case identifier copied from the request.
+        case: u64,
+        /// The suspicious MPR.
+        suspect: NodeId,
+        /// The answering node.
+        witness: NodeId,
+        /// `true` if the witness confirms the link exists.
+        link_exists: bool,
+    },
+}
+
+/// Decoding errors for [`InvestigationMessage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadInvestigationMessage;
+
+impl std::fmt::Display for BadInvestigationMessage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("malformed investigation message")
+    }
+}
+
+impl std::error::Error for BadInvestigationMessage {}
+
+impl InvestigationMessage {
+    /// Serializes to bytes (tag, case, suspect, witness[, answer]).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16);
+        match *self {
+            InvestigationMessage::VerifyLinkRequest { case, suspect, contested } => {
+                buf.put_u8(1);
+                buf.put_u64(case);
+                buf.put_u16(suspect.0);
+                buf.put_u16(contested.0);
+            }
+            InvestigationMessage::VerifyLinkResponse { case, suspect, witness, link_exists } => {
+                buf.put_u8(2);
+                buf.put_u64(case);
+                buf.put_u16(suspect.0);
+                buf.put_u16(witness.0);
+                buf.put_u8(u8::from(link_exists));
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadInvestigationMessage`] on truncation, unknown tags or
+    /// trailing garbage.
+    pub fn decode(mut bytes: Bytes) -> Result<Self, BadInvestigationMessage> {
+        if bytes.len() < 13 {
+            return Err(BadInvestigationMessage);
+        }
+        let tag = bytes.get_u8();
+        let case = bytes.get_u64();
+        let suspect = NodeId(bytes.get_u16());
+        let third = NodeId(bytes.get_u16());
+        match tag {
+            1 => {
+                if bytes.has_remaining() {
+                    return Err(BadInvestigationMessage);
+                }
+                Ok(InvestigationMessage::VerifyLinkRequest { case, suspect, contested: third })
+            }
+            2 => {
+                if bytes.remaining() != 1 {
+                    return Err(BadInvestigationMessage);
+                }
+                let link_exists = bytes.get_u8() != 0;
+                Ok(InvestigationMessage::VerifyLinkResponse {
+                    case,
+                    suspect,
+                    witness: third,
+                    link_exists,
+                })
+            }
+            _ => Err(BadInvestigationMessage),
+        }
+    }
+}
+
+/// The answer state of one witness in an open case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WitnessAnswer {
+    /// No answer yet (becomes `e = 0` at the deadline).
+    Pending,
+    /// The witness confirmed the link (`e = +1` toward "no attack").
+    Confirmed,
+    /// The witness denied the link (`e = -1`: spoofing evidence).
+    Denied,
+}
+
+/// One open investigation case: the link `suspect`–`contested` is disputed
+/// and the witnesses are being polled about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Investigation {
+    /// Case identifier.
+    pub case: u64,
+    /// The suspicious MPR under investigation.
+    pub suspect: NodeId,
+    /// The advertised link peer under dispute.
+    pub contested: NodeId,
+    /// The witnesses polled, with their answers.
+    witnesses: Vec<(NodeId, WitnessAnswer)>,
+    /// When the case was opened.
+    pub opened_at: SimTime,
+    /// When pending answers are written off as `e = 0`.
+    pub deadline: SimTime,
+}
+
+impl Investigation {
+    /// Opens a case interrogating `witnesses` about the link
+    /// `suspect`–`contested`.
+    pub fn open(
+        case: u64,
+        suspect: NodeId,
+        contested: NodeId,
+        witnesses: impl IntoIterator<Item = NodeId>,
+        opened_at: SimTime,
+        timeout: SimDuration,
+    ) -> Self {
+        Investigation {
+            case,
+            suspect,
+            contested,
+            witnesses: witnesses.into_iter().map(|w| (w, WitnessAnswer::Pending)).collect(),
+            opened_at,
+            deadline: opened_at + timeout,
+        }
+    }
+
+    /// Records an answer. Returns `false` for unknown witnesses or
+    /// duplicate answers (first answer wins — later ones may be forged).
+    pub fn record_answer(&mut self, witness: NodeId, link_exists: bool) -> bool {
+        for (w, a) in &mut self.witnesses {
+            if *w == witness && *a == WitnessAnswer::Pending {
+                *a = if link_exists { WitnessAnswer::Confirmed } else { WitnessAnswer::Denied };
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All `(witness, answer)` pairs.
+    pub fn answers(&self) -> &[(NodeId, WitnessAnswer)] {
+        &self.witnesses
+    }
+
+    /// Witnesses that have not answered yet.
+    pub fn pending(&self) -> Vec<NodeId> {
+        self.witnesses
+            .iter()
+            .filter(|(_, a)| *a == WitnessAnswer::Pending)
+            .map(|(w, _)| *w)
+            .collect()
+    }
+
+    /// Witnesses that confirmed the link (agree with the suspect).
+    pub fn agreeing(&self) -> Vec<NodeId> {
+        self.witnesses
+            .iter()
+            .filter(|(_, a)| *a == WitnessAnswer::Confirmed)
+            .map(|(w, _)| *w)
+            .collect()
+    }
+
+    /// Witnesses that denied the link (disagree with the suspect).
+    pub fn disagreeing(&self) -> Vec<NodeId> {
+        self.witnesses
+            .iter()
+            .filter(|(_, a)| *a == WitnessAnswer::Denied)
+            .map(|(w, _)| *w)
+            .collect()
+    }
+
+    /// `true` once every witness answered or the deadline passed.
+    pub fn is_complete(&self, now: SimTime) -> bool {
+        now >= self.deadline || self.pending().is_empty()
+    }
+
+    /// Number of interrogated witnesses.
+    pub fn witness_count(&self) -> usize {
+        self.witnesses.len()
+    }
+}
+
+/// Algorithm 1 lines 2–4: choose the witnesses for a suspect.
+///
+/// The interrogation set is the suspect's *claimed* symmetric neighborhood
+/// (`NS'_I` — exactly what a spoofed HELLO advertises), excluding the
+/// investigator itself. When `old_mprs` is non-empty (an E1 trigger), the
+/// witnesses are narrowed to the 2-hop neighbors the investigator shares
+/// with the suspect via those replaced MPRs, when that intersection is
+/// non-empty — "the 2-hops neighbours that have shown their MPR(s)
+/// changed".
+pub fn plan_witnesses(
+    view: &EventExtractor,
+    me: NodeId,
+    suspect: NodeId,
+    old_mprs: &[NodeId],
+    max_witnesses: usize,
+) -> Vec<NodeId> {
+    let claimed: Vec<NodeId> = view
+        .claimed_neighbors_of(suspect)
+        .unwrap_or(&[])
+        .iter()
+        .copied()
+        .filter(|&w| w != me && w != suspect)
+        .collect();
+
+    let mut witnesses = claimed.clone();
+    if !old_mprs.is_empty() {
+        // Narrow to common 2-hop neighbors: targets reachable via a
+        // replaced MPR too.
+        let common: Vec<NodeId> = claimed
+            .iter()
+            .copied()
+            .filter(|w| view.vias_for(*w).iter().any(|v| old_mprs.contains(v)))
+            .collect();
+        if !common.is_empty() {
+            witnesses = common;
+        }
+    }
+    witnesses.truncate(max_witnesses);
+    witnesses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlink_olsr::logging::LogRecord;
+    use trustlink_olsr::types::Willingness;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let msgs = [
+            InvestigationMessage::VerifyLinkRequest {
+                case: 42,
+                suspect: NodeId(3),
+                contested: NodeId(7),
+            },
+            InvestigationMessage::VerifyLinkResponse {
+                case: 42,
+                suspect: NodeId(3),
+                witness: NodeId(7),
+                link_exists: true,
+            },
+            InvestigationMessage::VerifyLinkResponse {
+                case: u64::MAX,
+                suspect: NodeId(0),
+                witness: NodeId(65_000),
+                link_exists: false,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(InvestigationMessage::decode(m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn message_decode_rejects_garbage() {
+        assert!(InvestigationMessage::decode(Bytes::from_static(b"")).is_err());
+        assert!(InvestigationMessage::decode(Bytes::from_static(b"\x09123456789012")).is_err());
+        // A request with trailing garbage:
+        let mut bad = BytesMut::new();
+        bad.put_u8(1);
+        bad.put_u64(1);
+        bad.put_u16(1);
+        bad.put_u16(2);
+        bad.put_u8(9);
+        assert!(InvestigationMessage::decode(bad.freeze()).is_err());
+    }
+
+    #[test]
+    fn case_lifecycle() {
+        let mut inv = Investigation::open(
+            1,
+            NodeId(3),
+            NodeId(99),
+            [NodeId(5), NodeId(6), NodeId(7)],
+            t(10),
+            SimDuration::from_secs(5),
+        );
+        assert_eq!(inv.contested, NodeId(99));
+        assert_eq!(inv.witness_count(), 3);
+        assert!(!inv.is_complete(t(10)));
+        assert!(inv.record_answer(NodeId(5), false));
+        assert!(inv.record_answer(NodeId(6), true));
+        // Unknown witness and duplicate answers rejected.
+        assert!(!inv.record_answer(NodeId(99), true));
+        assert!(!inv.record_answer(NodeId(5), true));
+        assert_eq!(inv.disagreeing(), vec![NodeId(5)]);
+        assert_eq!(inv.agreeing(), vec![NodeId(6)]);
+        assert_eq!(inv.pending(), vec![NodeId(7)]);
+        assert!(!inv.is_complete(t(12)));
+        // Deadline forces completion with a pending witness.
+        assert!(inv.is_complete(t(15)));
+        // All-answered also completes, before the deadline.
+        assert!(inv.record_answer(NodeId(7), false));
+        assert!(inv.is_complete(t(12)));
+    }
+
+    fn view_with_claims() -> EventExtractor {
+        let mut view = EventExtractor::new();
+        // Suspect N3 claims N5, N6, N7, N0(me).
+        view.ingest(
+            t(0),
+            &LogRecord::HelloRx {
+                from: NodeId(3),
+                willingness: Willingness::Default,
+                sym: vec![NodeId(0), NodeId(5), NodeId(6), NodeId(7)],
+                asym: vec![],
+            },
+        );
+        // 2-hop: N5 and N6 reachable via old MPR N2; N7 only via N3.
+        view.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(5) });
+        view.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(6) });
+        view.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(3), addr: NodeId(7) });
+        view
+    }
+
+    #[test]
+    fn witness_planning_uses_claimed_neighbors() {
+        let view = view_with_claims();
+        let w = plan_witnesses(&view, NodeId(0), NodeId(3), &[], 16);
+        assert_eq!(w, vec![NodeId(5), NodeId(6), NodeId(7)]);
+    }
+
+    #[test]
+    fn witness_planning_narrows_to_common_two_hop() {
+        let view = view_with_claims();
+        let w = plan_witnesses(&view, NodeId(0), NodeId(3), &[NodeId(2)], 16);
+        assert_eq!(w, vec![NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn witness_planning_falls_back_when_no_common() {
+        let view = view_with_claims();
+        // Old MPR N9 covers nothing the suspect claims: fall back to all.
+        let w = plan_witnesses(&view, NodeId(0), NodeId(3), &[NodeId(9)], 16);
+        assert_eq!(w, vec![NodeId(5), NodeId(6), NodeId(7)]);
+    }
+
+    #[test]
+    fn witness_planning_respects_cap_and_unknown_suspect() {
+        let view = view_with_claims();
+        let w = plan_witnesses(&view, NodeId(0), NodeId(3), &[], 2);
+        assert_eq!(w.len(), 2);
+        let none = plan_witnesses(&view, NodeId(0), NodeId(55), &[], 16);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! # trustlink-ids
+//!
+//! The log- and signature-based intrusion detection layer of
+//! *"Trust-enabled Link Spoofing Detection in MANET"* (Alattar, Sailhan,
+//! Bourgeois — ICDCS WWASN 2012).
+//!
+//! The detection pipeline, exactly as the paper structures it:
+//!
+//! 1. **Logs** — the OLSR daemon writes text audit lines
+//!    ([`trustlink_olsr::logging`]); nothing else is observed, so "no
+//!    change is requested in the implementation of the node".
+//! 2. **Events** — [`events::EventExtractor`] parses the lines and emits
+//!    the paper's detection events: E1 (MPR replaced), E2 (MPR
+//!    misbehaving), E3 (sole connectivity) locally; E4/E5 arrive later from
+//!    investigations.
+//! 3. **Signatures** — [`signature::SignatureEngine`] matches events
+//!    against partially ordered signatures; a *partial* match of the
+//!    link-spoofing signature (a fresh E1/E2) is the trigger for
+//!    cooperative investigation, and a *complete* match ((E1∨E2) then
+//!    (E4∨E5)) is the detection itself (the paper's rule (4)).
+//! 4. **Investigation** — [`investigation`] implements Algorithm 1:
+//!    selecting witnesses from the suspect's claimed neighborhood,
+//!    request/answer messages routed around the suspect, timeouts, and the
+//!    agree/disagree tally the trust system (in `trustlink-trust`) weighs.
+//!
+//! ```
+//! use trustlink_ids::prelude::*;
+//! use trustlink_sim::{NodeId, SimTime, SimDuration};
+//!
+//! let mut extractor = EventExtractor::new();
+//! let mut engine = SignatureEngine::with_builtin(SimDuration::from_secs(60));
+//!
+//! // The detector tails its own audit log:
+//! let t0 = SimTime::from_secs(1);
+//! extractor.ingest_line(t0, "MPR_SET mprs=[N2]").unwrap();
+//! for ev in extractor.ingest_line(SimTime::from_secs(2), "MPR_SET mprs=[N3]").unwrap() {
+//!     engine.observe(&ev);
+//! }
+//! // The replacement leaves N3 as a partial link-spoofing suspect:
+//! assert_eq!(engine.partial_suspects("link-spoofing"), vec![NodeId(3)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod investigation;
+pub mod signature;
+
+/// Glob-import of the detection pipeline types.
+pub mod prelude {
+    pub use crate::events::{Criticality, DetectionEvent, EventExtractor, MisbehaviourReason};
+    pub use crate::investigation::{
+        plan_witnesses, Investigation, InvestigationConfig, InvestigationMessage, WitnessAnswer,
+    };
+    pub use crate::signature::{
+        EventPattern, Signature, SignatureEngine, SignatureMatch, Stage,
+    };
+}
+
+pub use events::{Criticality, DetectionEvent, EventExtractor, MisbehaviourReason};
+pub use investigation::{
+    plan_witnesses, Investigation, InvestigationConfig, InvestigationMessage, WitnessAnswer,
+};
+pub use signature::{EventPattern, Signature, SignatureEngine, SignatureMatch};

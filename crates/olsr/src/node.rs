@@ -1,0 +1,1011 @@
+//! The OLSR protocol state machine, runnable as a
+//! [`trustlink_sim::Application`].
+//!
+//! One [`OlsrNode`] implements, per RFC 3626: link sensing and neighbor
+//! detection from HELLOs, 2-hop population, MPR selection, MPR-selector
+//! tracking, TC origination and flooding via the default forwarding
+//! algorithm, topology-set maintenance and routing-table calculation —
+//! plus the minimal unicast data plane the detector's investigations ride
+//! on, and the audit log every action leaves behind.
+
+use bytes::Bytes;
+use rand::RngExt;
+use trustlink_sim::{Application, Context, NodeId, SimTime, TimerToken};
+
+use crate::hooks::{NoHooks, OlsrHooks};
+use crate::logging::{LogRecord, MessageKind, SuppressReason};
+use crate::message::{
+    DataMessage, HelloMessage, LinkCode, LinkGroup, LinkType, Message, MessageBody, MidMessage,
+    NeighborType, Packet, TcMessage,
+};
+use crate::routing::RoutingTable;
+use crate::state::{
+    DuplicateSet, InterfaceAssociationSet, LinkSet, LinkStatus, LinkTuple, MprSelectorSet,
+    NeighborSet, TopologySet, TwoHopSet,
+};
+use crate::types::{OlsrConfig, SequenceNumber, Willingness};
+use crate::wire::{decode_packet, encode_packet};
+
+/// Timer tokens used by the OLSR state machine. Wrappers layering their own
+/// timers on top must use tokens ≥ [`TIMER_USER_BASE`].
+pub const TIMER_HELLO: TimerToken = TimerToken(1);
+/// TC emission timer.
+pub const TIMER_TC: TimerToken = TimerToken(2);
+/// Periodic purge/recompute timer.
+pub const TIMER_REFRESH: TimerToken = TimerToken(3);
+/// First token value free for applications wrapping an [`OlsrNode`].
+pub const TIMER_USER_BASE: u64 = 1000;
+
+/// A unicast data payload delivered to this node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceivedData {
+    /// Source main address.
+    pub src: NodeId,
+    /// Arrival time.
+    pub at: SimTime,
+    /// The payload.
+    pub payload: Bytes,
+}
+
+/// The OLSR routing daemon for one node, parameterized by behaviour
+/// [`OlsrHooks`] (faithful by default).
+///
+/// ```
+/// use trustlink_olsr::prelude::*;
+/// use trustlink_sim::prelude::*;
+///
+/// let mut sim = SimulatorBuilder::new(1).radio(RadioConfig::unit_disk(150.0)).build();
+/// let a = sim.add_node(Box::new(OlsrNode::with_defaults()), Position::new(0.0, 0.0));
+/// let b = sim.add_node(Box::new(OlsrNode::with_defaults()), Position::new(100.0, 0.0));
+/// sim.run_for(SimDuration::from_secs(10));
+/// let node_a = sim.app_as::<OlsrNode>(a).unwrap();
+/// assert!(node_a.symmetric_neighbors(sim.now()).contains(&b));
+/// ```
+pub struct OlsrNode<H: OlsrHooks = NoHooks> {
+    id: NodeId,
+    config: OlsrConfig,
+    hooks: H,
+    links: LinkSet,
+    neighbors: NeighborSet,
+    two_hop: TwoHopSet,
+    mprs: Vec<NodeId>,
+    selectors: MprSelectorSet,
+    topology: TopologySet,
+    duplicates: DuplicateSet,
+    ifaces: InterfaceAssociationSet,
+    routes: RoutingTable,
+    prev_sym: Vec<NodeId>,
+    ansn: u16,
+    last_advertised: Vec<NodeId>,
+    msg_seq: SequenceNumber,
+    pkt_seq: SequenceNumber,
+    inbox: Vec<ReceivedData>,
+    dirty: bool,
+    started: bool,
+    /// Alias addresses this node advertises in MIDs (usually empty).
+    pub mid_aliases: Vec<NodeId>,
+    /// Neighbors barred from MPR selection (treated as `WILL_NEVER`),
+    /// regardless of their advertised willingness. The trust-enabled
+    /// detector populates this with condemned intruders — the CAP-OLSR
+    /// style response the paper's related work describes ("if the
+    /// resulting trust is lower than a given threshold, then I is excluded
+    /// from MPRs").
+    excluded_mprs: std::collections::BTreeSet<NodeId>,
+}
+
+impl OlsrNode<NoHooks> {
+    /// A faithful node with RFC default timing.
+    pub fn with_defaults() -> Self {
+        OlsrNode::new(OlsrConfig::default())
+    }
+
+    /// A faithful node with the given configuration.
+    pub fn new(config: OlsrConfig) -> Self {
+        OlsrNode::with_hooks(config, NoHooks)
+    }
+}
+
+impl<H: OlsrHooks> OlsrNode<H> {
+    /// A node with explicit behaviour hooks (used by the attack crate).
+    pub fn with_hooks(config: OlsrConfig, hooks: H) -> Self {
+        OlsrNode {
+            id: NodeId(0),
+            config,
+            hooks,
+            links: LinkSet::default(),
+            neighbors: NeighborSet::default(),
+            two_hop: TwoHopSet::default(),
+            mprs: Vec::new(),
+            selectors: MprSelectorSet::default(),
+            topology: TopologySet::default(),
+            duplicates: DuplicateSet::default(),
+            ifaces: InterfaceAssociationSet::default(),
+            routes: RoutingTable::default(),
+            prev_sym: Vec::new(),
+            ansn: 0,
+            last_advertised: Vec::new(),
+            msg_seq: SequenceNumber(0),
+            pkt_seq: SequenceNumber(0),
+            inbox: Vec::new(),
+            dirty: false,
+            started: false,
+            mid_aliases: Vec::new(),
+            excluded_mprs: std::collections::BTreeSet::new(),
+        }
+    }
+
+    // ---- inspection API -------------------------------------------------
+
+    /// This node's main address (valid after the simulation started it).
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OlsrConfig {
+        &self.config
+    }
+
+    /// Mutable access to the behaviour hooks.
+    pub fn hooks_mut(&mut self) -> &mut H {
+        &mut self.hooks
+    }
+
+    /// Immutable access to the behaviour hooks.
+    pub fn hooks(&self) -> &H {
+        &self.hooks
+    }
+
+    /// Symmetric 1-hop neighbors at `now`, ascending.
+    pub fn symmetric_neighbors(&self, now: SimTime) -> Vec<NodeId> {
+        self.links.symmetric_neighbors(now)
+    }
+
+    /// The current MPR set (ascending).
+    pub fn mpr_set(&self) -> &[NodeId] {
+        &self.mprs
+    }
+
+    /// The neighbors currently selecting this node as MPR.
+    pub fn mpr_selectors(&self, now: SimTime) -> Vec<NodeId> {
+        self.selectors.addrs(now)
+    }
+
+    /// The current routing table.
+    pub fn routing_table(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// The topology set learned from TCs.
+    pub fn topology_set(&self) -> &TopologySet {
+        &self.topology
+    }
+
+    /// The 2-hop neighbor set.
+    pub fn two_hop_set(&self) -> &TwoHopSet {
+        &self.two_hop
+    }
+
+    /// The 1-hop neighbor set (with willingness).
+    pub fn neighbor_set(&self) -> &NeighborSet {
+        &self.neighbors
+    }
+
+    /// Drains data payloads addressed to this node.
+    pub fn take_inbox(&mut self) -> Vec<ReceivedData> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    /// Bars `addr` from this node's MPR selection (it is treated as
+    /// `WILL_NEVER` from now on). Takes effect at the next recomputation.
+    pub fn exclude_from_mprs(&mut self, addr: NodeId) {
+        if self.excluded_mprs.insert(addr) {
+            self.dirty = true;
+        }
+    }
+
+    /// Lifts an MPR exclusion.
+    pub fn readmit_to_mprs(&mut self, addr: NodeId) {
+        if self.excluded_mprs.remove(&addr) {
+            self.dirty = true;
+        }
+    }
+
+    /// The neighbors currently barred from MPR selection.
+    pub fn excluded_mprs(&self) -> Vec<NodeId> {
+        self.excluded_mprs.iter().copied().collect()
+    }
+
+    /// `true` once `on_start` ran.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    // ---- transmission helpers -------------------------------------------
+
+    fn next_msg_seq(&mut self) -> SequenceNumber {
+        self.msg_seq = self.msg_seq.next();
+        self.msg_seq
+    }
+
+    fn transmit(&mut self, ctx: &mut Context<'_>, messages: Vec<Message>) {
+        self.pkt_seq = self.pkt_seq.next();
+        let packet = Packet { seq: self.pkt_seq, messages };
+        ctx.broadcast(encode_packet(&packet));
+    }
+
+    fn unicast(&mut self, ctx: &mut Context<'_>, to: NodeId, messages: Vec<Message>) {
+        self.pkt_seq = self.pkt_seq.next();
+        let packet = Packet { seq: self.pkt_seq, messages };
+        ctx.send(to, encode_packet(&packet));
+    }
+
+    /// Builds the HELLO this node would send at `now` (before hooks).
+    pub fn build_hello(&self, now: SimTime) -> HelloMessage {
+        let mut sym = Vec::new();
+        let mut sym_mpr = Vec::new();
+        let mut asym = Vec::new();
+        let mut lost = Vec::new();
+        for tuple in self.links.iter() {
+            match tuple.status(now) {
+                LinkStatus::Symmetric => {
+                    if self.mprs.contains(&tuple.neighbor) {
+                        sym_mpr.push(tuple.neighbor);
+                    } else {
+                        sym.push(tuple.neighbor);
+                    }
+                }
+                LinkStatus::Asymmetric => asym.push(tuple.neighbor),
+                LinkStatus::Lost => lost.push(tuple.neighbor),
+            }
+        }
+        let mut groups = Vec::new();
+        if !sym.is_empty() {
+            groups.push(LinkGroup {
+                code: LinkCode::new(LinkType::Sym, NeighborType::Sym),
+                addrs: sym,
+            });
+        }
+        if !sym_mpr.is_empty() {
+            groups.push(LinkGroup {
+                code: LinkCode::new(LinkType::Sym, NeighborType::Mpr),
+                addrs: sym_mpr,
+            });
+        }
+        if !asym.is_empty() {
+            groups.push(LinkGroup {
+                code: LinkCode::new(LinkType::Asym, NeighborType::Not),
+                addrs: asym,
+            });
+        }
+        if !lost.is_empty() {
+            groups.push(LinkGroup {
+                code: LinkCode::new(LinkType::Lost, NeighborType::Not),
+                addrs: lost,
+            });
+        }
+        let willingness = self.hooks_willingness();
+        HelloMessage { willingness, groups }
+    }
+
+    fn hooks_willingness(&self) -> Willingness {
+        // `willingness_override` takes &mut; we keep the public builder
+        // immutable by caching nothing and only consulting the config here.
+        self.config.willingness
+    }
+
+    fn emit_hello(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let mut hello = self.build_hello(now);
+        if let Some(w) = self.hooks.willingness_override() {
+            hello.willingness = w;
+        }
+        self.hooks.on_hello_tx(&mut hello, now);
+        ctx.log(
+            LogRecord::HelloTx {
+                sym: hello.symmetric_neighbors(),
+                asym: hello.asymmetric_neighbors(),
+            }
+            .to_line(),
+        );
+        let msg = Message {
+            vtime: self.config.neighbor_hold_time,
+            originator: self.id,
+            ttl: 1,
+            hop_count: 0,
+            seq: self.next_msg_seq(),
+            body: MessageBody::Hello(hello),
+        };
+        self.transmit(ctx, vec![msg]);
+    }
+
+    fn emit_tc(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let selectors = self.selectors.addrs(now);
+        if selectors.is_empty() && self.last_advertised.is_empty() {
+            return; // not an MPR: no TC duty
+        }
+        let mut advertised = selectors;
+        match self.config.tc_redundancy {
+            crate::types::TcRedundancy::MprSelectors => {}
+            crate::types::TcRedundancy::SelectorsAndMprs => {
+                advertised.extend(self.mprs.iter().copied());
+            }
+            crate::types::TcRedundancy::FullNeighborSet => {
+                advertised.extend(self.links.symmetric_neighbors(now));
+            }
+        }
+        advertised.sort_unstable();
+        advertised.dedup();
+        if advertised != self.last_advertised {
+            self.ansn = self.ansn.wrapping_add(1);
+            self.last_advertised = advertised.clone();
+        }
+        let mut tc = TcMessage { ansn: self.ansn, advertised };
+        self.hooks.on_tc_tx(&mut tc, now);
+        ctx.log(LogRecord::TcTx { ansn: tc.ansn, advertised: tc.advertised.clone() }.to_line());
+        let msg = Message {
+            vtime: self.config.topology_hold_time,
+            originator: self.id,
+            ttl: self.config.default_ttl,
+            hop_count: 0,
+            seq: self.next_msg_seq(),
+            body: MessageBody::Tc(tc),
+        };
+        // Record own message so an echoed copy is not reprocessed.
+        self.duplicates.record(
+            self.id,
+            self.msg_seq,
+            true,
+            now + self.config.duplicate_hold_time,
+        );
+        self.transmit(ctx, vec![msg]);
+    }
+
+    fn emit_mid(&mut self, ctx: &mut Context<'_>) {
+        if self.mid_aliases.is_empty() {
+            return;
+        }
+        let msg = Message {
+            vtime: self.config.topology_hold_time,
+            originator: self.id,
+            ttl: self.config.default_ttl,
+            hop_count: 0,
+            seq: self.next_msg_seq(),
+            body: MessageBody::Mid(MidMessage { aliases: self.mid_aliases.clone() }),
+        };
+        self.duplicates.record(
+            self.id,
+            self.msg_seq,
+            true,
+            ctx.now() + self.config.duplicate_hold_time,
+        );
+        self.transmit(ctx, vec![msg]);
+    }
+
+    /// Sends `payload` to `dst` over the data plane. When `avoid` is set the
+    /// first hop (and each forwarding hop) routes around that node — the
+    /// investigation primitive of the paper's Algorithm 1.
+    ///
+    /// Returns `false` (and logs `DATA_NO_ROUTE`) when no admissible route
+    /// exists.
+    pub fn send_data(
+        &mut self,
+        ctx: &mut Context<'_>,
+        dst: NodeId,
+        payload: Bytes,
+        avoid: Option<NodeId>,
+    ) -> bool {
+        let now = ctx.now();
+        if dst == self.id {
+            self.inbox.push(ReceivedData { src: self.id, at: now, payload });
+            return true;
+        }
+        let next = self.next_hop_for(dst, avoid, now);
+        let Some(next) = next else {
+            ctx.log(LogRecord::DataNoRoute { dst }.to_line());
+            return false;
+        };
+        ctx.log(LogRecord::DataTx { dst, next_hop: next }.to_line());
+        let msg = Message {
+            vtime: self.config.neighbor_hold_time,
+            originator: self.id,
+            ttl: self.config.data_ttl,
+            hop_count: 0,
+            seq: self.next_msg_seq(),
+            body: MessageBody::Data(DataMessage { src: self.id, dst, avoid, payload }),
+        };
+        self.unicast(ctx, next, vec![msg]);
+        true
+    }
+
+    fn next_hop_for(&self, dst: NodeId, avoid: Option<NodeId>, now: SimTime) -> Option<NodeId> {
+        match avoid {
+            None => self.routes.next_hop(dst),
+            Some(avoided) => {
+                if dst == avoided {
+                    return None;
+                }
+                RoutingTable::compute_avoiding(
+                    self.id,
+                    &self.links.symmetric_neighbors(now),
+                    &self.two_hop,
+                    &self.topology,
+                    now,
+                    Some(avoided),
+                )
+                .next_hop(dst)
+            }
+        }
+    }
+
+    // ---- reception ------------------------------------------------------
+
+    fn process_hello(&mut self, ctx: &mut Context<'_>, originator: NodeId, hello: &HelloMessage) {
+        let now = ctx.now();
+        let hold = now + self.config.neighbor_hold_time;
+        let claimed_sym = hello.symmetric_neighbors();
+        let claimed_asym = hello.asymmetric_neighbors();
+        ctx.log(
+            LogRecord::HelloRx {
+                from: originator,
+                willingness: hello.willingness,
+                sym: claimed_sym.clone(),
+                asym: claimed_asym.clone(),
+            }
+            .to_line(),
+        );
+
+        // Link sensing: hearing them refreshes the asym validity; being
+        // listed by them (heard in both directions) makes it symmetric.
+        let heard_us = claimed_sym.contains(&self.id) || claimed_asym.contains(&self.id);
+        let before = self.links.get(originator).map(|t| t.status(now));
+        self.links.upsert(LinkTuple {
+            neighbor: originator,
+            sym_until: if heard_us { hold } else { SimTime::ZERO },
+            asym_until: hold,
+            until: hold,
+        });
+        // An explicit LOST listing tears the symmetry down immediately.
+        let lost_us = hello
+            .groups
+            .iter()
+            .any(|g| g.code.link == LinkType::Lost && g.addrs.contains(&self.id));
+        if lost_us {
+            self.links.declare_lost(originator, now);
+        }
+        let after = self.links.get(originator).map(|t| t.status(now));
+        if before != after {
+            match after {
+                Some(LinkStatus::Symmetric) => {
+                    ctx.log(LogRecord::LinkSymmetric { neighbor: originator }.to_line())
+                }
+                Some(LinkStatus::Asymmetric) => {
+                    ctx.log(LogRecord::LinkAsymmetric { neighbor: originator }.to_line())
+                }
+                _ => {}
+            }
+        }
+
+        // Neighbor set (symmetric only) + willingness bookkeeping.
+        if after == Some(LinkStatus::Symmetric) {
+            self.neighbors.upsert(originator, hello.willingness);
+        }
+
+        // 2-hop set: the sender's claimed symmetric neighbors, minus us.
+        for &th in &claimed_sym {
+            if th != self.id {
+                let already_known = self.two_hop.reachable_via(originator, now).contains(&th);
+                self.two_hop.upsert(originator, th, hold);
+                if !already_known {
+                    ctx.log(LogRecord::TwoHopAdded { via: originator, addr: th }.to_line());
+                }
+            }
+        }
+
+        // MPR selector set: did they pick us?
+        if hello.mpr_neighbors().contains(&self.id) {
+            if self.selectors.upsert(originator, hold) {
+                ctx.log(LogRecord::MprSelectorAdded { addr: originator }.to_line());
+            }
+        } else if self.selectors.remove(originator) {
+            ctx.log(LogRecord::MprSelectorLost { addr: originator }.to_line());
+        }
+
+        self.dirty = true;
+    }
+
+    fn process_tc(&mut self, ctx: &mut Context<'_>, msg: &Message, tc: &TcMessage, from: NodeId) {
+        let now = ctx.now();
+        ctx.log(
+            LogRecord::TcRx {
+                originator: msg.originator,
+                sender: from,
+                ansn: tc.ansn,
+                advertised: tc.advertised.clone(),
+            }
+            .to_line(),
+        );
+        let until = now + msg.vtime;
+        if self.topology.apply_tc(msg.originator, tc.ansn, &tc.advertised, until) {
+            self.dirty = true;
+        }
+    }
+
+    fn forward_flooded(&mut self, ctx: &mut Context<'_>, msg: &Message, from: NodeId) {
+        let now = ctx.now();
+        let kind = match msg.body {
+            MessageBody::Tc(_) => MessageKind::Tc,
+            MessageBody::Mid(_) => MessageKind::Mid,
+            MessageBody::Hna(_) => MessageKind::Hna,
+            _ => return,
+        };
+        let dup_until = now + self.config.duplicate_hold_time;
+        let suppress = |this: &mut Self, ctx: &mut Context<'_>, reason: SuppressReason| {
+            ctx.log(
+                LogRecord::ForwardSuppressed {
+                    originator: msg.originator,
+                    kind,
+                    seq: msg.seq.0,
+                    reason,
+                }
+                .to_line(),
+            );
+            this.duplicates.record(msg.originator, msg.seq, false, dup_until);
+        };
+
+        if self.duplicates.retransmitted(msg.originator, msg.seq, now) {
+            suppress(self, ctx, SuppressReason::Duplicate);
+            return;
+        }
+        if msg.ttl <= 1 {
+            suppress(self, ctx, SuppressReason::TtlExpired);
+            return;
+        }
+        let sender_main = self.ifaces.main_of(from, now);
+        if !self
+            .links
+            .symmetric_neighbors(now)
+            .contains(&sender_main)
+        {
+            suppress(self, ctx, SuppressReason::UnknownSender);
+            return;
+        }
+        // Default forwarding algorithm: retransmit only if the sender
+        // selected us as its MPR.
+        if !self.selectors.contains(sender_main, now) {
+            suppress(self, ctx, SuppressReason::NotMprSelector);
+            return;
+        }
+        if !self.hooks.should_forward(msg, from) {
+            // A drop attacker stays silent: no log line either — its own
+            // logs would incriminate it. The *absence* of forwarding is what
+            // neighbors can observe (paper evidence E2).
+            self.duplicates.record(msg.originator, msg.seq, true, dup_until);
+            return;
+        }
+        let mut fwd = msg.clone();
+        fwd.ttl -= 1;
+        fwd.hop_count += 1;
+        self.hooks.on_forward(&mut fwd, from);
+        self.duplicates.record(msg.originator, msg.seq, true, dup_until);
+        ctx.log(
+            LogRecord::Forwarded { originator: msg.originator, kind, seq: msg.seq.0, from }
+                .to_line(),
+        );
+        self.transmit(ctx, vec![fwd]);
+    }
+
+    fn process_data(&mut self, ctx: &mut Context<'_>, msg: &Message, data: &DataMessage, from: NodeId) {
+        let now = ctx.now();
+        if data.dst == self.id {
+            ctx.log(LogRecord::DataRx { src: data.src }.to_line());
+            self.inbox.push(ReceivedData { src: data.src, at: now, payload: data.payload.clone() });
+            return;
+        }
+        if msg.ttl <= 1 {
+            return; // silently dies, like an expired IP packet
+        }
+        if !self.hooks.should_forward_data(data, from) {
+            return; // black hole: swallowed without trace
+        }
+        let next = self.next_hop_for(data.dst, data.avoid, now);
+        let Some(next) = next else {
+            ctx.log(LogRecord::DataNoRoute { dst: data.dst }.to_line());
+            return;
+        };
+        ctx.log(
+            LogRecord::DataForwarded { src: data.src, dst: data.dst, next_hop: next }.to_line(),
+        );
+        let mut fwd = msg.clone();
+        fwd.ttl -= 1;
+        fwd.hop_count += 1;
+        self.unicast(ctx, next, vec![fwd]);
+    }
+
+    fn handle_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
+        let packet = match decode_packet(payload) {
+            Ok(p) => p,
+            Err(_) => {
+                ctx.log(LogRecord::DecodeError { from }.to_line());
+                return;
+            }
+        };
+        let now = ctx.now();
+        for msg in &packet.messages {
+            if msg.originator == self.id {
+                continue; // our own flood echoed back
+            }
+            let already_processed = self.duplicates.seen(msg.originator, msg.seq, now);
+            match &msg.body {
+                MessageBody::Hello(h) => {
+                    // HELLOs are link-local and never forwarded; process
+                    // every one (they are never duplicates in the flooding
+                    // sense).
+                    self.process_hello(ctx, msg.originator, h);
+                }
+                MessageBody::Tc(t) => {
+                    if !already_processed {
+                        self.process_tc(ctx, msg, t, from);
+                    }
+                    self.forward_flooded(ctx, msg, from);
+                }
+                MessageBody::Mid(m) => {
+                    if !already_processed {
+                        ctx.log(
+                            LogRecord::MidRx {
+                                originator: msg.originator,
+                                aliases: m.aliases.clone(),
+                            }
+                            .to_line(),
+                        );
+                        let until = now + msg.vtime;
+                        for &alias in &m.aliases {
+                            self.ifaces.upsert(alias, msg.originator, until);
+                        }
+                    }
+                    self.forward_flooded(ctx, msg, from);
+                }
+                MessageBody::Hna(h) => {
+                    if !already_processed {
+                        ctx.log(
+                            LogRecord::HnaRx {
+                                originator: msg.originator,
+                                networks: h.networks.clone(),
+                            }
+                            .to_line(),
+                        );
+                    }
+                    self.forward_flooded(ctx, msg, from);
+                }
+                MessageBody::Data(d) => {
+                    self.process_data(ctx, msg, d, from);
+                }
+            }
+        }
+        if self.dirty {
+            self.recompute(ctx);
+        }
+    }
+
+    // ---- periodic maintenance -------------------------------------------
+
+    /// Purges expired state and recomputes MPRs and routes, logging every
+    /// observable change. Called after packet processing and on the refresh
+    /// timer.
+    fn recompute(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        self.dirty = false;
+
+        // Expiry sweeps.
+        for dead in self.links.purge(now) {
+            ctx.log(LogRecord::LinkLost { neighbor: dead }.to_line());
+        }
+        for (via, addr) in self.two_hop.purge(now) {
+            ctx.log(LogRecord::TwoHopLost { via, addr }.to_line());
+        }
+        for addr in self.selectors.purge(now) {
+            ctx.log(LogRecord::MprSelectorLost { addr }.to_line());
+        }
+        self.topology.purge(now);
+        self.duplicates.purge(now);
+        self.ifaces.purge(now);
+
+        // Symmetric-neighborhood delta.
+        let sym = self.links.symmetric_neighbors(now);
+        for n in &sym {
+            if !self.prev_sym.contains(n) {
+                ctx.log(LogRecord::NeighborAdded { addr: *n }.to_line());
+            }
+        }
+        for n in &self.prev_sym.clone() {
+            if !sym.contains(n) {
+                ctx.log(LogRecord::NeighborLost { addr: *n }.to_line());
+                self.neighbors.remove(*n);
+                self.two_hop.remove_via(*n);
+                if self.selectors.remove(*n) {
+                    ctx.log(LogRecord::MprSelectorLost { addr: *n }.to_line());
+                }
+            }
+        }
+        self.prev_sym = sym.clone();
+
+        // MPR selection.
+        let targets = self.two_hop.two_hop_addrs(now, self.id, &sym);
+        let candidates: Vec<crate::mpr::MprCandidate> = sym
+            .iter()
+            .map(|&n| {
+                let covers: Vec<NodeId> = self
+                    .two_hop
+                    .reachable_via(n, now)
+                    .into_iter()
+                    .filter(|t| *t != self.id && !sym.contains(t))
+                    .collect();
+                let willingness = if self.excluded_mprs.contains(&n) {
+                    Willingness::Never
+                } else {
+                    self.neighbors
+                        .get(n)
+                        .map_or(Willingness::Default, |t| t.willingness)
+                };
+                crate::mpr::MprCandidate { addr: n, willingness, degree: covers.len(), covers }
+            })
+            .collect();
+        let new_mprs = crate::mpr::select_mprs(&candidates, &targets);
+        if new_mprs != self.mprs {
+            ctx.log(LogRecord::MprSet { mprs: new_mprs.clone() }.to_line());
+            self.mprs = new_mprs;
+        }
+
+        // Routing table.
+        let new_routes = RoutingTable::compute(self.id, &sym, &self.two_hop, &self.topology, now);
+        let diff = self.routes.diff(&new_routes);
+        for r in &diff.added {
+            ctx.log(
+                LogRecord::RouteAdded { dest: r.dest, next_hop: r.next_hop, hops: r.hops }
+                    .to_line(),
+            );
+        }
+        for r in &diff.changed {
+            ctx.log(
+                LogRecord::RouteChanged { dest: r.dest, next_hop: r.next_hop, hops: r.hops }
+                    .to_line(),
+            );
+        }
+        for d in &diff.removed {
+            ctx.log(LogRecord::RouteLost { dest: *d }.to_line());
+        }
+        self.routes = new_routes;
+    }
+}
+
+impl<H: OlsrHooks> Application for OlsrNode<H> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.id = ctx.id();
+        self.started = true;
+        // Stagger the periodic timers so co-located nodes do not fire in
+        // lock-step (the usual OLSR jitter).
+        let hello_us = self.config.hello_interval.as_micros();
+        let tc_us = self.config.tc_interval.as_micros();
+        let hello_off = trustlink_sim::SimDuration::from_micros(ctx.rng().random_range(0..hello_us));
+        let tc_off = trustlink_sim::SimDuration::from_micros(ctx.rng().random_range(0..tc_us));
+        ctx.set_timer(hello_off, TIMER_HELLO);
+        ctx.set_timer(tc_off, TIMER_TC);
+        ctx.set_timer(self.config.refresh_interval, TIMER_REFRESH);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        match timer {
+            TIMER_HELLO => {
+                self.emit_hello(ctx);
+                ctx.set_timer(self.config.hello_interval, TIMER_HELLO);
+            }
+            TIMER_TC => {
+                self.emit_tc(ctx);
+                self.emit_mid(ctx);
+                ctx.set_timer(self.config.tc_interval, TIMER_TC);
+            }
+            TIMER_REFRESH => {
+                self.recompute(ctx);
+                ctx.set_timer(self.config.refresh_interval, TIMER_REFRESH);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
+        self.handle_packet(ctx, from, payload);
+    }
+}
+
+impl<H: OlsrHooks> std::fmt::Debug for OlsrNode<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OlsrNode")
+            .field("id", &self.id)
+            .field("neighbors", &self.neighbors.len())
+            .field("mprs", &self.mprs)
+            .field("routes", &self.routes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustlink_sim::{Position, RadioConfig, SimDuration, SimulatorBuilder};
+
+    fn line_sim(n: usize, spacing: f64, range: f64, seed: u64) -> trustlink_sim::Simulator {
+        let mut sim = SimulatorBuilder::new(seed)
+            .radio(RadioConfig::unit_disk(range))
+            .arena(trustlink_sim::Arena::new(10_000.0, 10_000.0))
+            .build();
+        for i in 0..n {
+            sim.add_node(
+                Box::new(OlsrNode::new(OlsrConfig::fast())),
+                Position::new(i as f64 * spacing, 0.0),
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn two_nodes_become_symmetric_neighbors() {
+        let mut sim = line_sim(2, 100.0, 150.0, 7);
+        sim.run_for(SimDuration::from_secs(5));
+        let now = sim.now();
+        let a = sim.app_as::<OlsrNode>(NodeId(0)).unwrap();
+        let b = sim.app_as::<OlsrNode>(NodeId(1)).unwrap();
+        assert_eq!(a.symmetric_neighbors(now), vec![NodeId(1)]);
+        assert_eq!(b.symmetric_neighbors(now), vec![NodeId(0)]);
+        // 1-hop routes appear.
+        assert_eq!(a.routing_table().next_hop(NodeId(1)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn line_of_four_converges_multi_hop_routes() {
+        let mut sim = line_sim(4, 100.0, 150.0, 11);
+        sim.run_for(SimDuration::from_secs(20));
+        let a = sim.app_as::<OlsrNode>(NodeId(0)).unwrap();
+        let r = a.routing_table().route_to(NodeId(3)).expect("route to far end");
+        assert_eq!(r.hops, 3);
+        assert_eq!(r.next_hop, NodeId(1));
+        // Middle nodes are MPRs of their neighbors.
+        let b = sim.app_as::<OlsrNode>(NodeId(1)).unwrap();
+        assert!(!b.mpr_selectors(sim.now()).is_empty(), "N1 must be selected as MPR");
+    }
+
+    #[test]
+    fn mpr_covers_all_two_hop_neighbors() {
+        let mut sim = line_sim(5, 100.0, 150.0, 13);
+        sim.run_for(SimDuration::from_secs(20));
+        let now = sim.now();
+        for i in 0..5 {
+            let node = sim.app_as::<OlsrNode>(NodeId(i)).unwrap();
+            let sym = node.symmetric_neighbors(now);
+            let targets = node.two_hop_set().two_hop_addrs(now, NodeId(i), &sym);
+            for t in &targets {
+                let vias = node.two_hop_set().vias_for(*t, now);
+                assert!(
+                    vias.iter().any(|v| node.mpr_set().contains(v)),
+                    "N{i}: 2-hop {t} not covered by MPRs {:?}",
+                    node.mpr_set()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn data_plane_delivers_multi_hop() {
+        let mut sim = line_sim(4, 100.0, 150.0, 17);
+        sim.run_for(SimDuration::from_secs(20));
+        let a = sim.app_as::<OlsrNode>(NodeId(0)).unwrap();
+        let next = a.routing_table().next_hop(NodeId(3)).unwrap();
+        assert_eq!(next, NodeId(1));
+        // Encode a data packet as N0 would and inject it.
+        let msg = Message {
+            vtime: SimDuration::from_secs(6),
+            originator: NodeId(0),
+            ttl: 32,
+            hop_count: 0,
+            seq: SequenceNumber(999),
+            body: MessageBody::Data(DataMessage {
+                src: NodeId(0),
+                dst: NodeId(3),
+                avoid: None,
+                payload: Bytes::from_static(b"ping"),
+            }),
+        };
+        let packet = Packet { seq: SequenceNumber(999), messages: vec![msg] };
+        sim.inject_broadcast(NodeId(0), encode_packet(&packet));
+        sim.run_for(SimDuration::from_secs(5));
+        let d = sim.app_as_mut::<OlsrNode>(NodeId(3)).unwrap();
+        let inbox = d.take_inbox();
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].src, NodeId(0));
+        assert_eq!(inbox[0].payload.as_ref(), b"ping");
+    }
+
+    #[test]
+    fn audit_log_records_neighborhood_events() {
+        let mut sim = line_sim(3, 100.0, 150.0, 23);
+        sim.run_for(SimDuration::from_secs(10));
+        let log = sim.log(NodeId(1));
+        let mut saw_hello_rx = false;
+        let mut saw_nbr_add = false;
+        let mut saw_mpr_selector = false;
+        for line in log.lines() {
+            if line.starts_with("HELLO_RX") {
+                saw_hello_rx = true;
+            }
+            if line.starts_with("NBR_ADD") {
+                saw_nbr_add = true;
+            }
+            if line.starts_with("MPR_SELECTOR_ADD") {
+                saw_mpr_selector = true;
+            }
+            // Every line must be parseable (the IDS depends on it).
+            crate::logging::parse_line(line)
+                .unwrap_or_else(|e| panic!("unparseable log line `{line}`: {e}"));
+        }
+        assert!(saw_hello_rx && saw_nbr_add);
+        // The middle node of a 3-line is everyone's MPR.
+        assert!(saw_mpr_selector);
+    }
+
+    #[test]
+    fn neighbor_loss_detected_after_silence() {
+        let mut sim = line_sim(2, 100.0, 150.0, 29);
+        sim.run_for(SimDuration::from_secs(5));
+        sim.kill(NodeId(1));
+        sim.run_for(SimDuration::from_secs(10));
+        let now = sim.now();
+        let a = sim.app_as::<OlsrNode>(NodeId(0)).unwrap();
+        assert!(a.symmetric_neighbors(now).is_empty());
+        assert!(sim.log(NodeId(0)).lines().any(|l| l.starts_with("NBR_LOST addr=N1")));
+    }
+
+    #[test]
+    fn tc_messages_propagate_topology() {
+        let mut sim = line_sim(4, 100.0, 150.0, 31);
+        sim.run_for(SimDuration::from_secs(20));
+        // N0 must have learned, via TCs, links it cannot hear directly.
+        let a = sim.app_as::<OlsrNode>(NodeId(0)).unwrap();
+        let topo_edges: Vec<(NodeId, NodeId)> = a
+            .topology_set()
+            .iter(sim.now())
+            .map(|t| (t.last_hop, t.dest))
+            .collect();
+        assert!(
+            topo_edges.iter().any(|(lh, d)| lh.0 >= 2 || d.0 >= 2),
+            "no remote topology learned: {topo_edges:?}"
+        );
+    }
+
+    #[test]
+    fn avoid_routing_in_diamond() {
+        // Diamond: 0 - {1, 2} - 3. Avoiding 1 must route via 2.
+        let mut sim = SimulatorBuilder::new(37)
+            .radio(RadioConfig::unit_disk(110.0))
+            .arena(trustlink_sim::Arena::new(1_000.0, 1_000.0))
+            .build();
+        // Edge length 100 (< 110 range); diagonals 120 and 160 (out of range).
+        let positions = [
+            Position::new(0.0, 100.0),   // 0
+            Position::new(80.0, 160.0),  // 1
+            Position::new(80.0, 40.0),   // 2
+            Position::new(160.0, 100.0), // 3
+        ];
+        for p in positions {
+            sim.add_node(Box::new(OlsrNode::new(OlsrConfig::fast())), p);
+        }
+        sim.run_for(SimDuration::from_secs(20));
+        let now = sim.now();
+        let a = sim.app_as::<OlsrNode>(NodeId(0)).unwrap();
+        let sym = a.symmetric_neighbors(now);
+        assert_eq!(sym, vec![NodeId(1), NodeId(2)]);
+        let next = a.next_hop_for(NodeId(3), Some(NodeId(1)), now);
+        assert_eq!(next, Some(NodeId(2)));
+        let next_none = a.next_hop_for(NodeId(1), Some(NodeId(1)), now);
+        assert_eq!(next_none, None, "cannot route to the avoided node");
+    }
+}

@@ -1,0 +1,355 @@
+//! Routing table calculation (RFC 3626 §10).
+//!
+//! Routes are shortest paths (hop count) over the union of:
+//! * this node's symmetric 1-hop links, and
+//! * the topology tuples learned from TCs (`last_hop → dest` edges).
+//!
+//! [`RoutingTable::compute_avoiding`] additionally excludes one node from
+//! the graph — the primitive the paper's investigation uses so that
+//! requests/answers "should not go through … the suspicious MPR".
+
+use std::collections::{BTreeMap, VecDeque};
+
+use trustlink_sim::{NodeId, SimTime};
+
+use crate::state::{TopologySet, TwoHopSet};
+
+/// One route entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Final destination.
+    pub dest: NodeId,
+    /// The symmetric 1-hop neighbor to hand the packet to.
+    pub next_hop: NodeId,
+    /// Total hop count.
+    pub hops: u32,
+}
+
+/// A freshly computed routing table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutingTable {
+    routes: BTreeMap<NodeId, Route>,
+}
+
+impl RoutingTable {
+    /// Computes the table for `me` from its symmetric neighbors, its 2-hop
+    /// neighbor set and the topology set (breadth-first search — all edges
+    /// cost one hop). Using the 2-hop set alongside TC-learned topology is
+    /// RFC 3626 §10 steps 2–3.
+    pub fn compute(
+        me: NodeId,
+        symmetric_neighbors: &[NodeId],
+        two_hop: &TwoHopSet,
+        topology: &TopologySet,
+        now: SimTime,
+    ) -> Self {
+        Self::compute_avoiding(me, symmetric_neighbors, two_hop, topology, now, None)
+    }
+
+    /// Like [`RoutingTable::compute`] but treats `avoid` as nonexistent:
+    /// no route will traverse or terminate at it.
+    pub fn compute_avoiding(
+        me: NodeId,
+        symmetric_neighbors: &[NodeId],
+        two_hop: &TwoHopSet,
+        topology: &TopologySet,
+        now: SimTime,
+        avoid: Option<NodeId>,
+    ) -> Self {
+        // Build adjacency: me -> neighbors, neighbor -> claimed 2-hop,
+        // plus TC-learned topology edges. Edges *out of* `me` come only
+        // from link sensing: a forged TC or HELLO mentioning this node must
+        // never add a first hop that is not a verified symmetric neighbor
+        // (the RFC's iterative calculation has the same property).
+        let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for &n in symmetric_neighbors {
+            if Some(n) != avoid && n != me {
+                adj.entry(me).or_default().push(n);
+            }
+        }
+        let mut push = |from: NodeId, to: NodeId| {
+            if from != me && to != me && from != to {
+                adj.entry(from).or_default().push(to);
+            }
+        };
+        for pair in two_hop.iter(now) {
+            if Some(pair.via) == avoid || Some(pair.two_hop) == avoid {
+                continue;
+            }
+            push(pair.via, pair.two_hop);
+            push(pair.two_hop, pair.via);
+        }
+        for t in topology.iter(now) {
+            if Some(t.last_hop) == avoid || Some(t.dest) == avoid {
+                continue;
+            }
+            // TC edges are advertised by the MPR (last_hop); the RFC treats
+            // them as usable in both directions for route calculation
+            // because MPR selection requires a symmetric link.
+            push(t.last_hop, t.dest);
+            push(t.dest, t.last_hop);
+        }
+
+        // BFS from me.
+        let mut dist: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut first_hop: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(me, 0);
+        queue.push_back(me);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[&u];
+            let Some(nbrs) = adj.get(&u) else { continue };
+            for &v in nbrs {
+                if dist.contains_key(&v) {
+                    continue;
+                }
+                dist.insert(v, du + 1);
+                let fh = if u == me { v } else { first_hop[&u] };
+                first_hop.insert(v, fh);
+                queue.push_back(v);
+            }
+        }
+
+        let routes = dist
+            .into_iter()
+            .filter(|&(d, _)| d != me)
+            .map(|(d, hops)| (d, Route { dest: d, next_hop: first_hop[&d], hops }))
+            .collect();
+        RoutingTable { routes }
+    }
+
+    /// The route to `dest`, if any.
+    pub fn route_to(&self, dest: NodeId) -> Option<&Route> {
+        self.routes.get(&dest)
+    }
+
+    /// The next hop toward `dest`, if any.
+    pub fn next_hop(&self, dest: NodeId) -> Option<NodeId> {
+        self.routes.get(&dest).map(|r| r.next_hop)
+    }
+
+    /// All routes, ascending by destination.
+    pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.routes.values()
+    }
+
+    /// Number of reachable destinations.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// `true` when nothing is reachable.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Destinations whose route changed or disappeared between `self` and
+    /// `next` — used by the node to emit `ROUTE_*` audit-log lines.
+    pub fn diff<'a>(&'a self, next: &'a RoutingTable) -> RoutingDiff {
+        let mut added = Vec::new();
+        let mut changed = Vec::new();
+        let mut removed = Vec::new();
+        for (dest, route) in &next.routes {
+            match self.routes.get(dest) {
+                None => added.push(*route),
+                Some(old) if old != route => changed.push(*route),
+                Some(_) => {}
+            }
+        }
+        for dest in self.routes.keys() {
+            if !next.routes.contains_key(dest) {
+                removed.push(*dest);
+            }
+        }
+        RoutingDiff { added, changed, removed }
+    }
+}
+
+/// The difference between two routing tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutingDiff {
+    /// Routes present only in the newer table.
+    pub added: Vec<Route>,
+    /// Routes whose next hop or hop count changed.
+    pub changed: Vec<Route>,
+    /// Destinations that became unreachable.
+    pub removed: Vec<NodeId>,
+}
+
+impl RoutingDiff {
+    /// `true` when the tables are identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.changed.is_empty() && self.removed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(entries: &[(u16, u16)]) -> TopologySet {
+        let mut set = TopologySet::default();
+        for (i, &(last_hop, dest)) in entries.iter().enumerate() {
+            // Distinct originators may repeat; use one ANSN per last_hop.
+            let _ = i;
+            set.apply_tc(
+                NodeId(last_hop),
+                1,
+                &[NodeId(dest)],
+                SimTime::from_secs(1_000),
+            );
+        }
+        set
+    }
+
+    fn topo_multi(entries: &[(u16, &[u16])]) -> TopologySet {
+        let mut set = TopologySet::default();
+        for &(last_hop, dests) in entries {
+            let dests: Vec<NodeId> = dests.iter().map(|&d| NodeId(d)).collect();
+            set.apply_tc(NodeId(last_hop), 1, &dests, SimTime::from_secs(1_000));
+        }
+        set
+    }
+
+    fn now() -> SimTime {
+        SimTime::from_secs(0)
+    }
+
+    fn no2h() -> TwoHopSet {
+        TwoHopSet::default()
+    }
+
+    #[test]
+    fn direct_neighbors_are_one_hop() {
+        let table = RoutingTable::compute(
+            NodeId(0),
+            &[NodeId(1), NodeId(2)],
+            &no2h(),
+            &TopologySet::default(),
+            now(),
+        );
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.route_to(NodeId(1)).unwrap().hops, 1);
+        assert_eq!(table.next_hop(NodeId(2)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn multi_hop_chain() {
+        // 0 - 1 - 2 - 3 (line); TCs: 1 advertises 2, 2 advertises 3.
+        let table = RoutingTable::compute(
+            NodeId(0),
+            &[NodeId(1)],
+            &no2h(),
+            &topo_multi(&[(1, &[2]), (2, &[3, 1])]),
+            now(),
+        );
+        assert_eq!(table.route_to(NodeId(3)).unwrap().hops, 3);
+        assert_eq!(table.next_hop(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(table.next_hop(NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn shortest_path_wins() {
+        // Two routes to 3: 0-1-3 and 0-2-4-3. BFS must give hops=2 via 1.
+        let table = RoutingTable::compute(
+            NodeId(0),
+            &[NodeId(1), NodeId(2)],
+            &no2h(),
+            &topo_multi(&[(1, &[3]), (2, &[4]), (4, &[3])]),
+            now(),
+        );
+        let r = table.route_to(NodeId(3)).unwrap();
+        assert_eq!(r.hops, 2);
+        assert_eq!(r.next_hop, NodeId(1));
+    }
+
+    #[test]
+    fn avoidance_reroutes() {
+        // Same two-path topology; avoiding node 1 forces the long way.
+        let topo = topo_multi(&[(1, &[3]), (2, &[4]), (4, &[3])]);
+        let table = RoutingTable::compute_avoiding(
+            NodeId(0),
+            &[NodeId(1), NodeId(2)],
+            &no2h(),
+            &topo,
+            now(),
+            Some(NodeId(1)),
+        );
+        let r = table.route_to(NodeId(3)).unwrap();
+        assert_eq!(r.hops, 3);
+        assert_eq!(r.next_hop, NodeId(2));
+        // And node 1 itself is unroutable.
+        assert!(table.route_to(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn avoidance_can_disconnect() {
+        // 0 - 1 - 2: avoiding 1 leaves 2 unreachable.
+        let table = RoutingTable::compute_avoiding(
+            NodeId(0),
+            &[NodeId(1)],
+            &no2h(),
+            &topo(&[(1, 2)]),
+            now(),
+            Some(NodeId(1)),
+        );
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn unreachable_nodes_absent() {
+        let table = RoutingTable::compute(
+            NodeId(0),
+            &[NodeId(1)],
+            &no2h(),
+            &topo_multi(&[(5, &[6])]), // disconnected island
+            now(),
+        );
+        assert!(table.route_to(NodeId(6)).is_none());
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn expired_topology_ignored() {
+        let mut set = TopologySet::default();
+        set.apply_tc(NodeId(1), 1, &[NodeId(2)], SimTime::from_secs(5));
+        let table =
+            RoutingTable::compute(NodeId(0), &[NodeId(1)], &no2h(), &set, SimTime::from_secs(10));
+        assert!(table.route_to(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn diff_reports_changes() {
+        let t1 = RoutingTable::compute(
+            NodeId(0),
+            &[NodeId(1)],
+            &no2h(),
+            &topo(&[(1, 2)]),
+            now(),
+        );
+        let t2 = RoutingTable::compute(
+            NodeId(0),
+            &[NodeId(1), NodeId(3)],
+            &no2h(),
+            &TopologySet::default(),
+            now(),
+        );
+        let diff = t1.diff(&t2);
+        assert_eq!(diff.added.iter().map(|r| r.dest).collect::<Vec<_>>(), vec![NodeId(3)]);
+        assert_eq!(diff.removed, vec![NodeId(2)]);
+        assert!(t1.diff(&t1.clone()).is_empty());
+    }
+
+    #[test]
+    fn routes_never_point_to_self() {
+        let table = RoutingTable::compute(
+            NodeId(0),
+            &[NodeId(1)],
+            &no2h(),
+            &topo_multi(&[(1, &[0, 2])]), // topology mentioning me
+            now(),
+        );
+        assert!(table.route_to(NodeId(0)).is_none());
+        assert_eq!(table.route_to(NodeId(2)).unwrap().hops, 2);
+    }
+}

@@ -1,0 +1,709 @@
+//! The OLSR information repositories (RFC 3626 §4.2–§4.4): link set,
+//! neighbor set, 2-hop neighbor set, MPR selector set, topology set,
+//! duplicate set and the MID interface-association set.
+//!
+//! Every repository is a collection of *tuples valid until a time*; the
+//! [`purge`](LinkSet::purge) family removes expired entries and reports
+//! whether anything changed (so the node knows to recompute MPRs/routes and
+//! to write the corresponding audit-log lines).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use trustlink_sim::{NodeId, SimTime};
+
+use crate::types::{SequenceNumber, Willingness};
+
+/// One sensed link to a 1-hop neighbor (RFC 3626 §4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTuple {
+    /// The neighbor's main address.
+    pub neighbor: NodeId,
+    /// Until when the link counts as symmetric.
+    pub sym_until: SimTime,
+    /// Until when the link counts as heard (asymmetric).
+    pub asym_until: SimTime,
+    /// When the whole tuple expires.
+    pub until: SimTime,
+}
+
+impl LinkTuple {
+    /// Link status at `now`: symmetric beats asymmetric beats lost.
+    pub fn status(&self, now: SimTime) -> LinkStatus {
+        if self.sym_until > now {
+            LinkStatus::Symmetric
+        } else if self.asym_until > now {
+            LinkStatus::Asymmetric
+        } else {
+            LinkStatus::Lost
+        }
+    }
+}
+
+/// The sensed status of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkStatus {
+    /// Verified bidirectional.
+    Symmetric,
+    /// Heard one-way only.
+    Asymmetric,
+    /// Expired or declared lost.
+    Lost,
+}
+
+/// The link set: every link this node has sensed recently.
+#[derive(Debug, Clone, Default)]
+pub struct LinkSet {
+    tuples: BTreeMap<NodeId, LinkTuple>,
+}
+
+impl LinkSet {
+    /// Looks up the tuple for `neighbor`.
+    pub fn get(&self, neighbor: NodeId) -> Option<&LinkTuple> {
+        self.tuples.get(&neighbor)
+    }
+
+    /// Inserts or updates the tuple for `neighbor`, merging expiry times
+    /// (times only ever extend; purging is how they shrink).
+    pub fn upsert(&mut self, tuple: LinkTuple) {
+        self.tuples
+            .entry(tuple.neighbor)
+            .and_modify(|t| {
+                t.sym_until = t.sym_until.max(tuple.sym_until);
+                t.asym_until = t.asym_until.max(tuple.asym_until);
+                t.until = t.until.max(tuple.until);
+            })
+            .or_insert(tuple);
+    }
+
+    /// Forces the symmetric validity of `neighbor` to expire immediately
+    /// (used when a HELLO explicitly declares the link `LOST`).
+    pub fn declare_lost(&mut self, neighbor: NodeId, now: SimTime) {
+        if let Some(t) = self.tuples.get_mut(&neighbor) {
+            t.sym_until = now;
+        }
+    }
+
+    /// Neighbors with a symmetric link at `now`, ascending.
+    pub fn symmetric_neighbors(&self, now: SimTime) -> Vec<NodeId> {
+        self.tuples
+            .values()
+            .filter(|t| t.status(now) == LinkStatus::Symmetric)
+            .map(|t| t.neighbor)
+            .collect()
+    }
+
+    /// Neighbors with at least an asymmetric link at `now`, ascending.
+    pub fn heard_neighbors(&self, now: SimTime) -> Vec<NodeId> {
+        self.tuples
+            .values()
+            .filter(|t| t.status(now) != LinkStatus::Lost)
+            .map(|t| t.neighbor)
+            .collect()
+    }
+
+    /// Removes tuples wholly expired at `now`; returns the removed
+    /// neighbors.
+    pub fn purge(&mut self, now: SimTime) -> Vec<NodeId> {
+        let dead: Vec<NodeId> =
+            self.tuples.values().filter(|t| t.until <= now).map(|t| t.neighbor).collect();
+        for d in &dead {
+            self.tuples.remove(d);
+        }
+        dead
+    }
+
+    /// Number of tuples (including expired-but-unpurged ones).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when no link has been sensed.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over all tuples, ascending by neighbor.
+    pub fn iter(&self) -> impl Iterator<Item = &LinkTuple> {
+        self.tuples.values()
+    }
+}
+
+/// A 1-hop neighbor entry (RFC 3626 §4.3.1): status + willingness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborTuple {
+    /// The neighbor's main address.
+    pub addr: NodeId,
+    /// Its last advertised willingness.
+    pub willingness: Willingness,
+}
+
+/// The neighbor set, derived from the link set but carrying willingness.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborSet {
+    tuples: BTreeMap<NodeId, NeighborTuple>,
+}
+
+impl NeighborSet {
+    /// Inserts or updates a neighbor.
+    pub fn upsert(&mut self, addr: NodeId, willingness: Willingness) {
+        self.tuples
+            .entry(addr)
+            .and_modify(|t| t.willingness = willingness)
+            .or_insert(NeighborTuple { addr, willingness });
+    }
+
+    /// Removes a neighbor, returning whether it existed.
+    pub fn remove(&mut self, addr: NodeId) -> bool {
+        self.tuples.remove(&addr).is_some()
+    }
+
+    /// Looks up a neighbor.
+    pub fn get(&self, addr: NodeId) -> Option<&NeighborTuple> {
+        self.tuples.get(&addr)
+    }
+
+    /// `true` when `addr` is currently a neighbor.
+    pub fn contains(&self, addr: NodeId) -> bool {
+        self.tuples.contains_key(&addr)
+    }
+
+    /// All neighbors ascending by address.
+    pub fn iter(&self) -> impl Iterator<Item = &NeighborTuple> {
+        self.tuples.values()
+    }
+
+    /// Addresses of all neighbors, ascending.
+    pub fn addrs(&self) -> Vec<NodeId> {
+        self.tuples.keys().copied().collect()
+    }
+
+    /// Number of neighbors.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when there are no neighbors.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// A 2-hop neighbor entry (RFC 3626 §4.3.2): reachable `two_hop` via the
+/// symmetric 1-hop neighbor `via`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TwoHopTuple {
+    /// The 1-hop neighbor providing reachability.
+    pub via: NodeId,
+    /// The 2-hop neighbor reached.
+    pub two_hop: NodeId,
+    /// Expiry.
+    pub until: SimTime,
+}
+
+/// The 2-hop neighbor set.
+#[derive(Debug, Clone, Default)]
+pub struct TwoHopSet {
+    tuples: BTreeMap<(NodeId, NodeId), SimTime>,
+}
+
+impl TwoHopSet {
+    /// Inserts or refreshes the pair `(via, two_hop)`.
+    pub fn upsert(&mut self, via: NodeId, two_hop: NodeId, until: SimTime) {
+        let e = self.tuples.entry((via, two_hop)).or_insert(until);
+        *e = (*e).max(until);
+    }
+
+    /// Removes every pair advertised through `via` (when a HELLO from `via`
+    /// stops listing someone, or the neighbor is lost).
+    pub fn remove_via(&mut self, via: NodeId) {
+        self.tuples.retain(|(v, _), _| *v != via);
+    }
+
+    /// Removes one specific pair.
+    pub fn remove(&mut self, via: NodeId, two_hop: NodeId) -> bool {
+        self.tuples.remove(&(via, two_hop)).is_some()
+    }
+
+    /// All distinct 2-hop addresses at `now`, ascending, excluding `me` and
+    /// excluding addresses in `exclude` (RFC: a 2-hop neighbor that is also
+    /// a 1-hop neighbor does not need covering).
+    pub fn two_hop_addrs(&self, now: SimTime, me: NodeId, exclude: &[NodeId]) -> Vec<NodeId> {
+        let ex: BTreeSet<NodeId> = exclude.iter().copied().collect();
+        let mut v: Vec<NodeId> = self
+            .tuples
+            .iter()
+            .filter(|(_, &until)| until > now)
+            .map(|(&(_, th), _)| th)
+            .filter(|th| *th != me && !ex.contains(th))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The 2-hop addresses reachable via `via` at `now`.
+    pub fn reachable_via(&self, via: NodeId, now: SimTime) -> Vec<NodeId> {
+        self.tuples
+            .iter()
+            .filter(|(&(v, _), &until)| v == via && until > now)
+            .map(|(&(_, th), _)| th)
+            .collect()
+    }
+
+    /// The 1-hop neighbors through which `two_hop` is reachable at `now`.
+    pub fn vias_for(&self, two_hop: NodeId, now: SimTime) -> Vec<NodeId> {
+        self.tuples
+            .iter()
+            .filter(|(&(_, th), &until)| th == two_hop && until > now)
+            .map(|(&(v, _), _)| v)
+            .collect()
+    }
+
+    /// Drops expired pairs; returns the removed `(via, two_hop)` pairs.
+    pub fn purge(&mut self, now: SimTime) -> Vec<(NodeId, NodeId)> {
+        let dead: Vec<(NodeId, NodeId)> = self
+            .tuples
+            .iter()
+            .filter(|(_, &until)| until <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in &dead {
+            self.tuples.remove(k);
+        }
+        dead
+    }
+
+    /// Iterates all live tuples at `now`.
+    pub fn iter(&self, now: SimTime) -> impl Iterator<Item = TwoHopTuple> + '_ {
+        self.tuples
+            .iter()
+            .filter(move |(_, &until)| until > now)
+            .map(|(&(via, two_hop), &until)| TwoHopTuple { via, two_hop, until })
+    }
+
+    /// Number of stored pairs (live or not).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// The MPR selector set (RFC 3626 §4.3.4): neighbors that chose *us* as
+/// their MPR. Non-empty selector set ⇒ we must emit TCs and forward floods.
+#[derive(Debug, Clone, Default)]
+pub struct MprSelectorSet {
+    tuples: BTreeMap<NodeId, SimTime>,
+}
+
+impl MprSelectorSet {
+    /// Inserts or refreshes a selector.
+    pub fn upsert(&mut self, addr: NodeId, until: SimTime) -> bool {
+        let fresh = !self.tuples.contains_key(&addr);
+        let e = self.tuples.entry(addr).or_insert(until);
+        *e = (*e).max(until);
+        fresh
+    }
+
+    /// Removes a selector (on lost symmetry), returning whether it existed.
+    pub fn remove(&mut self, addr: NodeId) -> bool {
+        self.tuples.remove(&addr).is_some()
+    }
+
+    /// `true` when `addr` currently selects us at `now`.
+    pub fn contains(&self, addr: NodeId, now: SimTime) -> bool {
+        self.tuples.get(&addr).is_some_and(|&until| until > now)
+    }
+
+    /// All live selector addresses at `now`, ascending.
+    pub fn addrs(&self, now: SimTime) -> Vec<NodeId> {
+        self.tuples
+            .iter()
+            .filter(|(_, &until)| until > now)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// `true` when nobody selects us at `now`.
+    pub fn is_empty(&self, now: SimTime) -> bool {
+        self.addrs(now).is_empty()
+    }
+
+    /// Drops expired entries; returns the removed addresses.
+    pub fn purge(&mut self, now: SimTime) -> Vec<NodeId> {
+        let dead: Vec<NodeId> = self
+            .tuples
+            .iter()
+            .filter(|(_, &until)| until <= now)
+            .map(|(&a, _)| a)
+            .collect();
+        for a in &dead {
+            self.tuples.remove(a);
+        }
+        dead
+    }
+}
+
+/// A topology tuple (RFC 3626 §4.4): `dest` is reachable in the last hop
+/// through `last_hop` (an MPR of `dest`), per a TC with sequence `ansn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyTuple {
+    /// The advertised destination (an MPR selector of `last_hop`).
+    pub dest: NodeId,
+    /// The TC originator (the MPR).
+    pub last_hop: NodeId,
+    /// ANSN carried by the TC that created this tuple.
+    pub ansn: u16,
+    /// Expiry.
+    pub until: SimTime,
+}
+
+/// The topology set built from received TCs.
+#[derive(Debug, Clone, Default)]
+pub struct TopologySet {
+    tuples: BTreeMap<(NodeId, NodeId), TopologyTuple>, // key: (last_hop, dest)
+}
+
+impl TopologySet {
+    /// Latest ANSN recorded for `last_hop`, if any tuple survives.
+    pub fn ansn_of(&self, last_hop: NodeId) -> Option<u16> {
+        self.tuples
+            .iter()
+            .filter(|(&(lh, _), _)| lh == last_hop)
+            .map(|(_, t)| t.ansn)
+            .next()
+    }
+
+    /// Applies a TC from `last_hop` carrying `ansn` and `dests`
+    /// (RFC 3626 §9.5): stale-ANSN TCs are ignored; newer ANSNs replace all
+    /// tuples of that originator. Returns `true` if the set changed.
+    pub fn apply_tc(
+        &mut self,
+        last_hop: NodeId,
+        ansn: u16,
+        dests: &[NodeId],
+        until: SimTime,
+    ) -> bool {
+        if let Some(existing) = self.ansn_of(last_hop) {
+            let newer = SequenceNumber(ansn).is_newer_than(SequenceNumber(existing));
+            if existing != ansn && !newer {
+                return false; // stale information
+            }
+            if newer {
+                self.tuples.retain(|(lh, _), _| *lh != last_hop);
+            }
+        }
+        let mut changed = false;
+        for &d in dests {
+            let t = TopologyTuple { dest: d, last_hop, ansn, until };
+            match self.tuples.insert((last_hop, d), t) {
+                Some(old) if old.ansn == ansn => {
+                    // pure refresh, not a topology change
+                }
+                _ => changed = true,
+            }
+        }
+        changed
+    }
+
+    /// All live tuples at `now`.
+    pub fn iter(&self, now: SimTime) -> impl Iterator<Item = &TopologyTuple> {
+        self.tuples.values().filter(move |t| t.until > now)
+    }
+
+    /// Drops expired tuples; returns removed `(last_hop, dest)` pairs.
+    pub fn purge(&mut self, now: SimTime) -> Vec<(NodeId, NodeId)> {
+        let dead: Vec<(NodeId, NodeId)> = self
+            .tuples
+            .iter()
+            .filter(|(_, t)| t.until <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in &dead {
+            self.tuples.remove(k);
+        }
+        dead
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// The duplicate set (RFC 3626 §3.4): remembers processed/forwarded
+/// messages so floods terminate.
+#[derive(Debug, Clone, Default)]
+pub struct DuplicateSet {
+    tuples: BTreeMap<(NodeId, u16), DuplicateTuple>,
+}
+
+/// One remembered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateTuple {
+    /// Whether the message has already been retransmitted by this node.
+    pub retransmitted: bool,
+    /// Expiry.
+    pub until: SimTime,
+}
+
+impl DuplicateSet {
+    /// `true` when `(originator, seq)` was already processed.
+    pub fn seen(&self, originator: NodeId, seq: SequenceNumber, now: SimTime) -> bool {
+        self.tuples
+            .get(&(originator, seq.0))
+            .is_some_and(|t| t.until > now)
+    }
+
+    /// `true` when `(originator, seq)` was already retransmitted.
+    pub fn retransmitted(&self, originator: NodeId, seq: SequenceNumber, now: SimTime) -> bool {
+        self.tuples
+            .get(&(originator, seq.0))
+            .is_some_and(|t| t.until > now && t.retransmitted)
+    }
+
+    /// Records a processed message.
+    pub fn record(
+        &mut self,
+        originator: NodeId,
+        seq: SequenceNumber,
+        retransmitted: bool,
+        until: SimTime,
+    ) {
+        let e = self
+            .tuples
+            .entry((originator, seq.0))
+            .or_insert(DuplicateTuple { retransmitted, until });
+        e.retransmitted |= retransmitted;
+        e.until = e.until.max(until);
+    }
+
+    /// Drops expired entries.
+    pub fn purge(&mut self, now: SimTime) {
+        self.tuples.retain(|_, t| t.until > now);
+    }
+
+    /// Number of remembered messages.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// The MID interface-association set (RFC 3626 §5.4): alias → main address.
+#[derive(Debug, Clone, Default)]
+pub struct InterfaceAssociationSet {
+    tuples: BTreeMap<NodeId, (NodeId, SimTime)>, // alias -> (main, until)
+}
+
+impl InterfaceAssociationSet {
+    /// Records that `alias` belongs to `main`.
+    pub fn upsert(&mut self, alias: NodeId, main: NodeId, until: SimTime) {
+        let e = self.tuples.entry(alias).or_insert((main, until));
+        e.0 = main;
+        e.1 = e.1.max(until);
+    }
+
+    /// Resolves an address to its main address (identity if no MID entry).
+    pub fn main_of(&self, addr: NodeId, now: SimTime) -> NodeId {
+        match self.tuples.get(&addr) {
+            Some(&(main, until)) if until > now => main,
+            _ => addr,
+        }
+    }
+
+    /// Drops expired associations.
+    pub fn purge(&mut self, now: SimTime) {
+        self.tuples.retain(|_, (_, until)| *until > now);
+    }
+
+    /// Number of live+stale associations stored.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn link_status_transitions() {
+        let tuple = LinkTuple { neighbor: NodeId(1), sym_until: t(5), asym_until: t(10), until: t(12) };
+        assert_eq!(tuple.status(t(0)), LinkStatus::Symmetric);
+        assert_eq!(tuple.status(t(5)), LinkStatus::Asymmetric);
+        assert_eq!(tuple.status(t(10)), LinkStatus::Lost);
+    }
+
+    #[test]
+    fn link_set_upsert_extends_only() {
+        let mut set = LinkSet::default();
+        set.upsert(LinkTuple { neighbor: NodeId(1), sym_until: t(5), asym_until: t(5), until: t(6) });
+        set.upsert(LinkTuple { neighbor: NodeId(1), sym_until: t(3), asym_until: t(8), until: t(9) });
+        let tuple = set.get(NodeId(1)).unwrap();
+        assert_eq!(tuple.sym_until, t(5)); // not shrunk
+        assert_eq!(tuple.asym_until, t(8));
+        assert_eq!(tuple.until, t(9));
+    }
+
+    #[test]
+    fn link_set_symmetric_and_purge() {
+        let mut set = LinkSet::default();
+        set.upsert(LinkTuple { neighbor: NodeId(1), sym_until: t(5), asym_until: t(5), until: t(6) });
+        set.upsert(LinkTuple { neighbor: NodeId(2), sym_until: t(0), asym_until: t(5), until: t(6) });
+        assert_eq!(set.symmetric_neighbors(t(1)), vec![NodeId(1)]);
+        assert_eq!(set.heard_neighbors(t(1)), vec![NodeId(1), NodeId(2)]);
+        let dead = set.purge(t(6));
+        assert_eq!(dead, vec![NodeId(1), NodeId(2)]);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn link_declared_lost() {
+        let mut set = LinkSet::default();
+        set.upsert(LinkTuple { neighbor: NodeId(1), sym_until: t(50), asym_until: t(50), until: t(60) });
+        set.declare_lost(NodeId(1), t(10));
+        assert_eq!(set.get(NodeId(1)).unwrap().status(t(10)), LinkStatus::Asymmetric);
+    }
+
+    #[test]
+    fn neighbor_set_basics() {
+        let mut set = NeighborSet::default();
+        set.upsert(NodeId(3), Willingness::High);
+        set.upsert(NodeId(1), Willingness::Default);
+        set.upsert(NodeId(3), Willingness::Low); // update
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get(NodeId(3)).unwrap().willingness, Willingness::Low);
+        assert_eq!(set.addrs(), vec![NodeId(1), NodeId(3)]);
+        assert!(set.remove(NodeId(1)));
+        assert!(!set.remove(NodeId(1)));
+    }
+
+    #[test]
+    fn two_hop_set_queries() {
+        let mut set = TwoHopSet::default();
+        set.upsert(NodeId(1), NodeId(10), t(5));
+        set.upsert(NodeId(1), NodeId(11), t(5));
+        set.upsert(NodeId(2), NodeId(10), t(5));
+        assert_eq!(
+            set.two_hop_addrs(t(0), NodeId(0), &[]),
+            vec![NodeId(10), NodeId(11)]
+        );
+        // Excluding 1-hop neighbors and self:
+        assert_eq!(set.two_hop_addrs(t(0), NodeId(0), &[NodeId(11)]), vec![NodeId(10)]);
+        assert!(set.two_hop_addrs(t(0), NodeId(10), &[NodeId(11)]).is_empty());
+        let mut vias = set.vias_for(NodeId(10), t(0));
+        vias.sort_unstable();
+        assert_eq!(vias, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(set.reachable_via(NodeId(1), t(0)), vec![NodeId(10), NodeId(11)]);
+    }
+
+    #[test]
+    fn two_hop_expiry_and_removal() {
+        let mut set = TwoHopSet::default();
+        set.upsert(NodeId(1), NodeId(10), t(5));
+        set.upsert(NodeId(2), NodeId(20), t(50));
+        assert!(set.two_hop_addrs(t(10), NodeId(0), &[]).contains(&NodeId(20)));
+        assert!(!set.two_hop_addrs(t(10), NodeId(0), &[]).contains(&NodeId(10)));
+        let dead = set.purge(t(10));
+        assert_eq!(dead, vec![(NodeId(1), NodeId(10))]);
+        set.remove_via(NodeId(2));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn mpr_selector_set() {
+        let mut set = MprSelectorSet::default();
+        assert!(set.upsert(NodeId(1), t(5)));
+        assert!(!set.upsert(NodeId(1), t(8))); // refresh, not fresh
+        assert!(set.contains(NodeId(1), t(7)));
+        assert!(!set.contains(NodeId(1), t(9)));
+        assert!(set.is_empty(t(9)));
+        assert_eq!(set.purge(t(9)), vec![NodeId(1)]);
+        assert!(!set.remove(NodeId(1)));
+    }
+
+    #[test]
+    fn topology_ansn_rules() {
+        let mut set = TopologySet::default();
+        assert!(set.apply_tc(NodeId(5), 10, &[NodeId(1), NodeId(2)], t(15)));
+        assert_eq!(set.iter(t(0)).count(), 2);
+        // Same ANSN again: pure refresh, no change signal.
+        assert!(!set.apply_tc(NodeId(5), 10, &[NodeId(1), NodeId(2)], t(20)));
+        // Stale ANSN ignored.
+        assert!(!set.apply_tc(NodeId(5), 9, &[NodeId(9)], t(20)));
+        assert_eq!(set.iter(t(0)).count(), 2);
+        // Newer ANSN replaces the originator's tuples wholesale.
+        assert!(set.apply_tc(NodeId(5), 11, &[NodeId(3)], t(25)));
+        let dests: Vec<NodeId> = set.iter(t(0)).map(|t| t.dest).collect();
+        assert_eq!(dests, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn topology_ansn_wraparound() {
+        let mut set = TopologySet::default();
+        assert!(set.apply_tc(NodeId(5), u16::MAX, &[NodeId(1)], t(15)));
+        // 0 is "newer" than 65535 under RFC §19 arithmetic.
+        assert!(set.apply_tc(NodeId(5), 0, &[NodeId(2)], t(20)));
+        let dests: Vec<NodeId> = set.iter(t(0)).map(|t| t.dest).collect();
+        assert_eq!(dests, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn topology_purge() {
+        let mut set = TopologySet::default();
+        set.apply_tc(NodeId(5), 1, &[NodeId(1)], t(5));
+        set.apply_tc(NodeId(6), 1, &[NodeId(2)], t(50));
+        assert_eq!(set.purge(t(10)), vec![(NodeId(5), NodeId(1))]);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_set_semantics() {
+        let mut set = DuplicateSet::default();
+        let seq = SequenceNumber(7);
+        assert!(!set.seen(NodeId(1), seq, t(0)));
+        set.record(NodeId(1), seq, false, t(30));
+        assert!(set.seen(NodeId(1), seq, t(0)));
+        assert!(!set.retransmitted(NodeId(1), seq, t(0)));
+        set.record(NodeId(1), seq, true, t(30));
+        assert!(set.retransmitted(NodeId(1), seq, t(0)));
+        // Retransmission flag is sticky.
+        set.record(NodeId(1), seq, false, t(30));
+        assert!(set.retransmitted(NodeId(1), seq, t(0)));
+        set.purge(t(30));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn interface_associations_resolve() {
+        let mut set = InterfaceAssociationSet::default();
+        set.upsert(NodeId(50), NodeId(5), t(10));
+        assert_eq!(set.main_of(NodeId(50), t(5)), NodeId(5));
+        assert_eq!(set.main_of(NodeId(50), t(10)), NodeId(50)); // expired
+        assert_eq!(set.main_of(NodeId(7), t(5)), NodeId(7)); // identity
+        set.purge(t(10));
+        assert!(set.is_empty());
+    }
+}

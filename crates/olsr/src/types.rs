@@ -1,0 +1,293 @@
+//! Core protocol types: sequence numbers, willingness, configuration.
+
+use std::fmt;
+
+use trustlink_sim::{SimDuration, SimTime};
+
+/// A 16-bit wrapping message/packet sequence number with the comparison
+/// rule of RFC 3626 §19:
+///
+/// > S1 > S2 iff (S1 > S2 AND S1 - S2 ≤ MAXVALUE/2)
+/// >          or (S2 > S1 AND S2 - S1 > MAXVALUE/2)
+///
+/// ```
+/// use trustlink_olsr::types::SequenceNumber;
+/// let s = SequenceNumber(65535);
+/// assert!(s.next().is_newer_than(s)); // wraps around and stays "newer"
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SequenceNumber(pub u16);
+
+impl SequenceNumber {
+    /// The successor, wrapping at 2^16.
+    #[must_use]
+    pub fn next(self) -> SequenceNumber {
+        SequenceNumber(self.0.wrapping_add(1))
+    }
+
+    /// RFC 3626 §19 "newer than" comparison (a strict partial order on the
+    /// circle; antisymmetric except at the antipode).
+    pub fn is_newer_than(self, other: SequenceNumber) -> bool {
+        let (s1, s2) = (self.0, other.0);
+        const HALF: u16 = u16::MAX / 2;
+        (s1 > s2 && s1 - s2 <= HALF) || (s2 > s1 && s2 - s1 > HALF)
+    }
+}
+
+impl fmt::Display for SequenceNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A node's declared willingness to carry traffic for others (RFC 3626
+/// §18.8). MPR selection prefers higher willingness; `Never` is never
+/// selected, `Always` is always selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Willingness {
+    /// WILL_NEVER (0): must never be selected as MPR.
+    Never = 0,
+    /// WILL_LOW (1).
+    Low = 1,
+    /// WILL_DEFAULT (3).
+    Default = 3,
+    /// WILL_HIGH (6).
+    High = 6,
+    /// WILL_ALWAYS (7): must always be selected as MPR.
+    Always = 7,
+}
+
+impl Willingness {
+    /// Decodes a wire byte, mapping unknown values to the nearest defined
+    /// level (RFC treats willingness as a 0..=7 scalar; we keep the named
+    /// levels and round intermediate values down).
+    pub fn from_wire(b: u8) -> Willingness {
+        match b {
+            0 => Willingness::Never,
+            1 | 2 => Willingness::Low,
+            3 | 4 | 5 => Willingness::Default,
+            6 => Willingness::High,
+            _ => Willingness::Always,
+        }
+    }
+
+    /// The wire encoding.
+    pub fn to_wire(self) -> u8 {
+        self as u8
+    }
+}
+
+impl Default for Willingness {
+    fn default() -> Self {
+        Willingness::Default
+    }
+}
+
+impl fmt::Display for Willingness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_wire())
+    }
+}
+
+/// How much a node advertises in its TCs (RFC 3626 §15.1 TC_REDUNDANCY).
+///
+/// Richer advertisement yields a denser topology set at every node, which
+/// gives the paper's investigation more alternative paths around a
+/// suspicious MPR — one of the ablation axes in `trustlink-bench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TcRedundancy {
+    /// Advertise the MPR selector set only (TC_REDUNDANCY = 0, default).
+    #[default]
+    MprSelectors,
+    /// Advertise MPR selectors plus the node's own MPR set
+    /// (TC_REDUNDANCY = 1).
+    SelectorsAndMprs,
+    /// Advertise the full symmetric neighbor set (TC_REDUNDANCY = 2).
+    FullNeighborSet,
+}
+
+/// Protocol timing and behaviour parameters (RFC 3626 §18 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsrConfig {
+    /// HELLO emission interval (default 2 s).
+    pub hello_interval: SimDuration,
+    /// TC emission interval (default 5 s).
+    pub tc_interval: SimDuration,
+    /// Validity advertised in HELLOs: NEIGHB_HOLD_TIME = 3 × hello interval.
+    pub neighbor_hold_time: SimDuration,
+    /// Validity advertised in TCs: TOP_HOLD_TIME = 3 × TC interval.
+    pub topology_hold_time: SimDuration,
+    /// How long duplicate-set entries are kept (default 30 s).
+    pub duplicate_hold_time: SimDuration,
+    /// This node's willingness to relay.
+    pub willingness: Willingness,
+    /// Interval between expiry sweeps / state refreshes (default 1 s).
+    pub refresh_interval: SimDuration,
+    /// Default TTL for flooded control messages.
+    pub default_ttl: u8,
+    /// Default TTL for unicast data.
+    pub data_ttl: u8,
+    /// TC advertisement richness (RFC 3626 §15.1).
+    pub tc_redundancy: TcRedundancy,
+}
+
+impl OlsrConfig {
+    /// RFC 3626 §18 default timing.
+    pub fn rfc_default() -> Self {
+        let hello = SimDuration::from_secs(2);
+        let tc = SimDuration::from_secs(5);
+        OlsrConfig {
+            hello_interval: hello,
+            tc_interval: tc,
+            neighbor_hold_time: hello * 3,
+            topology_hold_time: tc * 3,
+            duplicate_hold_time: SimDuration::from_secs(30),
+            willingness: Willingness::Default,
+            refresh_interval: SimDuration::from_secs(1),
+            default_ttl: 255,
+            data_ttl: 32,
+            tc_redundancy: TcRedundancy::default(),
+        }
+    }
+
+    /// A faster variant for simulations that need quick convergence
+    /// (hello 0.5 s, TC 1.25 s, proportional hold times).
+    pub fn fast() -> Self {
+        let hello = SimDuration::from_millis(500);
+        let tc = SimDuration::from_millis(1250);
+        OlsrConfig {
+            hello_interval: hello,
+            tc_interval: tc,
+            neighbor_hold_time: hello * 3,
+            topology_hold_time: tc * 3,
+            duplicate_hold_time: SimDuration::from_secs(8),
+            willingness: Willingness::Default,
+            refresh_interval: SimDuration::from_millis(250),
+            default_ttl: 255,
+            data_ttl: 32,
+            tc_redundancy: TcRedundancy::default(),
+        }
+    }
+
+    /// Replaces the willingness.
+    pub fn with_willingness(mut self, w: Willingness) -> Self {
+        self.willingness = w;
+        self
+    }
+
+    /// Replaces the TC advertisement richness.
+    pub fn with_tc_redundancy(mut self, r: TcRedundancy) -> Self {
+        self.tc_redundancy = r;
+        self
+    }
+}
+
+impl Default for OlsrConfig {
+    fn default() -> Self {
+        OlsrConfig::rfc_default()
+    }
+}
+
+/// An expiring entry helper: many OLSR sets are "tuples valid until T".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expiry(pub SimTime);
+
+impl Expiry {
+    /// `true` when the entry is still valid at `now`.
+    pub fn is_valid(self, now: SimTime) -> bool {
+        self.0 > now
+    }
+
+    /// Extends the expiry to `max(current, candidate)`.
+    pub fn extend_to(&mut self, candidate: SimTime) {
+        if candidate > self.0 {
+            self.0 = candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqnum_wraps() {
+        assert_eq!(SequenceNumber(u16::MAX).next(), SequenceNumber(0));
+        assert_eq!(SequenceNumber(7).next(), SequenceNumber(8));
+    }
+
+    #[test]
+    fn seqnum_comparison_plain() {
+        assert!(SequenceNumber(5).is_newer_than(SequenceNumber(3)));
+        assert!(!SequenceNumber(3).is_newer_than(SequenceNumber(5)));
+        assert!(!SequenceNumber(5).is_newer_than(SequenceNumber(5)));
+    }
+
+    #[test]
+    fn seqnum_comparison_across_wrap() {
+        // 2 is newer than 65534 (it wrapped).
+        assert!(SequenceNumber(2).is_newer_than(SequenceNumber(65534)));
+        assert!(!SequenceNumber(65534).is_newer_than(SequenceNumber(2)));
+    }
+
+    #[test]
+    fn seqnum_antisymmetric_near_everywhere() {
+        for &(a, b) in &[(0u16, 1), (100, 40000), (65000, 100), (32767, 0)] {
+            let ab = SequenceNumber(a).is_newer_than(SequenceNumber(b));
+            let ba = SequenceNumber(b).is_newer_than(SequenceNumber(a));
+            assert!(!(ab && ba), "both newer: {a} {b}");
+        }
+    }
+
+    #[test]
+    fn willingness_roundtrip_and_rounding() {
+        for w in [
+            Willingness::Never,
+            Willingness::Low,
+            Willingness::Default,
+            Willingness::High,
+            Willingness::Always,
+        ] {
+            assert_eq!(Willingness::from_wire(w.to_wire()), w);
+        }
+        assert_eq!(Willingness::from_wire(2), Willingness::Low);
+        assert_eq!(Willingness::from_wire(4), Willingness::Default);
+        assert_eq!(Willingness::from_wire(200), Willingness::Always);
+    }
+
+    #[test]
+    fn willingness_orders_by_eagerness() {
+        assert!(Willingness::Always > Willingness::High);
+        assert!(Willingness::High > Willingness::Default);
+        assert!(Willingness::Default > Willingness::Low);
+        assert!(Willingness::Low > Willingness::Never);
+    }
+
+    #[test]
+    fn config_defaults_follow_rfc() {
+        let c = OlsrConfig::rfc_default();
+        assert_eq!(c.hello_interval, SimDuration::from_secs(2));
+        assert_eq!(c.tc_interval, SimDuration::from_secs(5));
+        assert_eq!(c.neighbor_hold_time, SimDuration::from_secs(6));
+        assert_eq!(c.topology_hold_time, SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn fast_config_is_proportional() {
+        let c = OlsrConfig::fast();
+        assert_eq!(c.neighbor_hold_time, c.hello_interval * 3);
+        assert_eq!(c.topology_hold_time, c.tc_interval * 3);
+    }
+
+    #[test]
+    fn expiry_logic() {
+        let mut e = Expiry(SimTime::from_secs(10));
+        assert!(e.is_valid(SimTime::from_secs(9)));
+        assert!(!e.is_valid(SimTime::from_secs(10)));
+        e.extend_to(SimTime::from_secs(12));
+        assert_eq!(e.0, SimTime::from_secs(12));
+        e.extend_to(SimTime::from_secs(5)); // never shrinks
+        assert_eq!(e.0, SimTime::from_secs(12));
+    }
+}

@@ -1,0 +1,681 @@
+//! The discrete-event engine.
+//!
+//! Events are processed in strict `(time, sequence)` order; the sequence
+//! number breaks ties deterministically in scheduling order. All randomness
+//! is drawn from a single seeded RNG, so a run is a pure function of
+//! `(seed, configuration, applications)`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::mobility::{Arena, MobilityModel, MobilityState, Position};
+use crate::node::{Application, Command, Context, LogBuffer, NodeId, TimerToken};
+use crate::radio::{DeliveryOutcome, RadioConfig};
+use crate::stats::TrafficStats;
+use crate::time::{SimDuration, SimTime};
+
+/// What a scheduled event does when it fires.
+#[derive(Debug)]
+enum EventKind {
+    /// Deliver `payload` (sent by `from`) to node `to`.
+    Deliver { to: NodeId, from: NodeId, payload: Bytes },
+    /// Fire an application timer on `node`.
+    Timer { node: NodeId, token: TimerToken },
+    /// Invoke `on_start` for a node.
+    Start { node: NodeId },
+    /// Advance all mobile nodes and reschedule.
+    MobilityTick,
+}
+
+struct ScheduledEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct NodeSlot {
+    app: Box<dyn Application>,
+    position: Position,
+    mobility: MobilityState,
+    log: LogBuffer,
+    alive: bool,
+    /// Arrival time of the last accepted frame, for the collision window.
+    last_rx: Option<SimTime>,
+}
+
+/// Builder for a [`Simulator`].
+///
+/// ```
+/// use trustlink_sim::prelude::*;
+/// let sim = SimulatorBuilder::new(7)
+///     .arena(Arena::new(500.0, 500.0))
+///     .radio(RadioConfig::unit_disk(150.0))
+///     .mobility_tick(SimDuration::from_millis(250))
+///     .build();
+/// assert_eq!(sim.now(), SimTime::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct SimulatorBuilder {
+    seed: u64,
+    arena: Arena,
+    radio: RadioConfig,
+    mobility_tick: SimDuration,
+}
+
+impl SimulatorBuilder {
+    /// Starts a builder with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        SimulatorBuilder {
+            seed,
+            arena: Arena::default(),
+            radio: RadioConfig::default(),
+            mobility_tick: SimDuration::from_millis(500),
+        }
+    }
+
+    /// Sets the arena dimensions.
+    pub fn arena(mut self, arena: Arena) -> Self {
+        self.arena = arena;
+        self
+    }
+
+    /// Sets the radio configuration.
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Sets the granularity at which mobile nodes are advanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero.
+    pub fn mobility_tick(mut self, tick: SimDuration) -> Self {
+        assert!(!tick.is_zero(), "mobility tick must be positive");
+        self.mobility_tick = tick;
+        self
+    }
+
+    /// Finalizes the configuration into an empty simulator.
+    pub fn build(self) -> Simulator {
+        Simulator {
+            time: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            slots: Vec::new(),
+            radio: self.radio,
+            arena: self.arena,
+            rng: StdRng::seed_from_u64(self.seed),
+            stats: TrafficStats::default(),
+            mobility_tick: self.mobility_tick,
+            mobility_scheduled: false,
+            halted: false,
+        }
+    }
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// See the [crate-level documentation](crate) for a full example.
+pub struct Simulator {
+    time: SimTime,
+    queue: BinaryHeap<Reverse<ScheduledEvent>>,
+    seq: u64,
+    slots: Vec<NodeSlot>,
+    radio: RadioConfig,
+    arena: Arena,
+    rng: StdRng,
+    stats: TrafficStats,
+    mobility_tick: SimDuration,
+    mobility_scheduled: bool,
+    halted: bool,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("time", &self.time)
+            .field("nodes", &self.slots.len())
+            .field("pending_events", &self.queue.len())
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Adds a stationary node at `position`; returns its identity.
+    pub fn add_node(&mut self, app: Box<dyn Application>, position: Position) -> NodeId {
+        self.add_mobile_node(app, position, MobilityModel::Stationary)
+    }
+
+    /// Adds a node with an explicit mobility model.
+    pub fn add_mobile_node(
+        &mut self,
+        app: Box<dyn Application>,
+        position: Position,
+        mobility: MobilityModel,
+    ) -> NodeId {
+        let id = NodeId(u16::try_from(self.slots.len()).expect("too many nodes"));
+        self.stats.ensure_node(id);
+        self.slots.push(NodeSlot {
+            app,
+            position: self.arena.clamp(position),
+            mobility: MobilityState::new(mobility),
+            log: LogBuffer::default(),
+            alive: true,
+            last_rx: None,
+        });
+        self.schedule(SimDuration::ZERO, EventKind::Start { node: id });
+        id
+    }
+
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of nodes ever added.
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Identities of all nodes, in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.slots.len()).map(|i| NodeId(i as u16))
+    }
+
+    /// The audit log of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn log(&self, id: NodeId) -> &LogBuffer {
+        &self.slots[id.index()].log
+    }
+
+    /// Current position of `id`.
+    pub fn position(&self, id: NodeId) -> Position {
+        self.slots[id.index()].position
+    }
+
+    /// Teleports `id` to `position` (clamped to the arena). Useful for
+    /// scripted topology changes in tests and scenarios.
+    pub fn set_position(&mut self, id: NodeId, position: Position) {
+        self.slots[id.index()].position = self.arena.clamp(position);
+    }
+
+    /// Immutable access to the application installed on `id`.
+    pub fn app(&self, id: NodeId) -> &dyn Application {
+        self.slots[id.index()].app.as_ref()
+    }
+
+    /// Mutable access to the application installed on `id`.
+    pub fn app_mut(&mut self, id: NodeId) -> &mut dyn Application {
+        self.slots[id.index()].app.as_mut()
+    }
+
+    /// Downcasts the application on `id` to its concrete type.
+    pub fn app_as<T: Application>(&self, id: NodeId) -> Option<&T> {
+        let any: &dyn std::any::Any = self.slots[id.index()].app.as_ref();
+        any.downcast_ref::<T>()
+    }
+
+    /// Mutable downcast of the application on `id`.
+    pub fn app_as_mut<T: Application>(&mut self, id: NodeId) -> Option<&mut T> {
+        let any: &mut dyn std::any::Any = self.slots[id.index()].app.as_mut();
+        any.downcast_mut::<T>()
+    }
+
+    /// Aggregated traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// The radio configuration in force.
+    pub fn radio(&self) -> &RadioConfig {
+        &self.radio
+    }
+
+    /// Ground-truth neighbors of `id`: alive nodes within the propagation
+    /// model's maximum range. (What an omniscient observer would call the
+    /// 1-hop neighborhood; protocols must *discover* this.)
+    pub fn neighbors_in_range(&self, id: NodeId) -> Vec<NodeId> {
+        let me = &self.slots[id.index()];
+        let range = self.radio.propagation.max_range();
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                *i != id.index() && s.alive && me.position.distance(&s.position) <= range
+            })
+            .map(|(i, _)| NodeId(i as u16))
+            .collect()
+    }
+
+    /// Marks `id` dead: it stops transmitting and receiving (crash / power
+    /// off). Timers still fire but commands from dead nodes are discarded.
+    pub fn kill(&mut self, id: NodeId) {
+        self.slots[id.index()].alive = false;
+    }
+
+    /// Brings a dead node back.
+    pub fn revive(&mut self, id: NodeId) {
+        self.slots[id.index()].alive = true;
+    }
+
+    /// `true` if `id` is alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.slots[id.index()].alive
+    }
+
+    /// Injects a broadcast frame as if transmitted by `from` right now.
+    /// Intended for tests and scripted scenarios.
+    pub fn inject_broadcast(&mut self, from: NodeId, payload: Bytes) {
+        self.fan_out_broadcast(from, payload);
+    }
+
+    fn schedule(&mut self, delay: SimDuration, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(ScheduledEvent { time: self.time + delay, seq, kind }));
+    }
+
+    /// Runs until the queue is exhausted, `deadline` is reached, or a node
+    /// halts the simulation. The clock always ends at `deadline` unless
+    /// halted earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_mobility_tick();
+        while !self.halted {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => {}
+                _ => break,
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.time >= self.time, "time went backwards");
+            self.time = ev.time;
+            self.dispatch(ev.kind);
+        }
+        if !self.halted && self.time < deadline {
+            self.time = deadline;
+        }
+    }
+
+    /// Runs for `span` of simulated time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.time + span;
+        self.run_until(deadline);
+    }
+
+    /// `true` once a node has called [`Context::halt`].
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn ensure_mobility_tick(&mut self) {
+        if self.mobility_scheduled {
+            return;
+        }
+        let any_mobile = self
+            .slots
+            .iter()
+            .any(|s| !matches!(s.mobility.model, MobilityModel::Stationary));
+        if any_mobile {
+            self.mobility_scheduled = true;
+            self.schedule(self.mobility_tick, EventKind::MobilityTick);
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start { node } => self.run_callback(node, |app, ctx| app.on_start(ctx)),
+            EventKind::Timer { node, token } => {
+                self.run_callback(node, |app, ctx| app.on_timer(ctx, token))
+            }
+            EventKind::Deliver { to, from, payload } => {
+                let slot = &mut self.slots[to.index()];
+                if !slot.alive {
+                    return;
+                }
+                if let Some(window) = self.radio.collision_window {
+                    if let Some(last) = slot.last_rx {
+                        if self.time.saturating_since(last) < window {
+                            self.stats.lost_collision += 1;
+                            return;
+                        }
+                    }
+                }
+                slot.last_rx = Some(self.time);
+                self.stats.node_mut(to).received += 1;
+                self.run_callback(to, move |app, ctx| app.on_receive(ctx, from, payload));
+            }
+            EventKind::MobilityTick => {
+                for slot in &mut self.slots {
+                    slot.position = slot.mobility.step(
+                        slot.position,
+                        self.mobility_tick,
+                        &self.arena,
+                        &mut self.rng,
+                    );
+                }
+                self.schedule(self.mobility_tick, EventKind::MobilityTick);
+            }
+        }
+    }
+
+    fn run_callback(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut Box<dyn Application>, &mut Context<'_>),
+    ) {
+        let mut commands = Vec::new();
+        {
+            let slot = &mut self.slots[node.index()];
+            if !slot.alive {
+                return;
+            }
+            let mut ctx =
+                Context::new(node, self.time, &mut self.rng, &mut slot.log, &mut commands);
+            f(&mut slot.app, &mut ctx);
+        }
+        self.execute(node, commands);
+    }
+
+    fn execute(&mut self, node: NodeId, commands: Vec<Command>) {
+        for cmd in commands {
+            if !self.slots[node.index()].alive {
+                // A node killed mid-callback transmits nothing further.
+                break;
+            }
+            match cmd {
+                Command::Broadcast { payload } => self.fan_out_broadcast(node, payload),
+                Command::Unicast { to, payload } => self.fan_out_unicast(node, to, payload),
+                Command::SetTimer { delay, token } => {
+                    self.schedule(delay, EventKind::Timer { node, token })
+                }
+                Command::Halt => self.halted = true,
+            }
+        }
+    }
+
+    fn fan_out_broadcast(&mut self, from: NodeId, payload: Bytes) {
+        let tx_pos = self.slots[from.index()].position;
+        {
+            let s = self.stats.node_mut(from);
+            s.broadcasts_sent += 1;
+            s.bytes_sent += payload.len() as u64;
+        }
+        for i in 0..self.slots.len() {
+            if i == from.index() || !self.slots[i].alive {
+                continue;
+            }
+            let rx_pos = self.slots[i].position;
+            match self.radio.judge(tx_pos, rx_pos, &mut self.rng) {
+                DeliveryOutcome::Deliver(delay) => self.schedule(
+                    delay,
+                    EventKind::Deliver { to: NodeId(i as u16), from, payload: payload.clone() },
+                ),
+                DeliveryOutcome::OutOfRange => self.stats.lost_range += 1,
+                DeliveryOutcome::Lost => self.stats.lost_random += 1,
+            }
+        }
+    }
+
+    fn fan_out_unicast(&mut self, from: NodeId, to: NodeId, payload: Bytes) {
+        if to.index() >= self.slots.len() || to == from {
+            return; // addressed to nobody; silently dropped like a real NIC would
+        }
+        let tx_pos = self.slots[from.index()].position;
+        {
+            let s = self.stats.node_mut(from);
+            s.unicasts_sent += 1;
+            s.bytes_sent += payload.len() as u64;
+        }
+        if !self.slots[to.index()].alive {
+            self.stats.lost_range += 1;
+            return;
+        }
+        let rx_pos = self.slots[to.index()].position;
+        match self.radio.judge(tx_pos, rx_pos, &mut self.rng) {
+            DeliveryOutcome::Deliver(delay) => {
+                self.schedule(delay, EventKind::Deliver { to, from, payload })
+            }
+            DeliveryOutcome::OutOfRange => self.stats.lost_range += 1,
+            DeliveryOutcome::Lost => self.stats.lost_random += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts receptions; broadcasts `n` times on start with 10 ms spacing.
+    struct Chatter {
+        to_send: u32,
+        received: Vec<(SimTime, NodeId, Bytes)>,
+    }
+
+    impl Chatter {
+        fn new(to_send: u32) -> Self {
+            Chatter { to_send, received: Vec::new() }
+        }
+    }
+
+    impl Application for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for i in 0..self.to_send {
+                ctx.set_timer(SimDuration::from_millis(10 * (i as u64 + 1)), TimerToken(i as u64));
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, t: TimerToken) {
+            ctx.broadcast(Bytes::from(format!("msg-{}", t.0)));
+            ctx.log(format!("sent {}", t.0));
+        }
+        fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
+            self.received.push((ctx.now(), from, payload));
+        }
+    }
+
+    fn two_node_sim(distance: f64, range: f64) -> (Simulator, NodeId, NodeId) {
+        let mut sim = SimulatorBuilder::new(1)
+            .radio(RadioConfig::unit_disk(range))
+            .arena(Arena::new(10_000.0, 10_000.0))
+            .build();
+        let a = sim.add_node(Box::new(Chatter::new(3)), Position::new(0.0, 0.0));
+        let b = sim.add_node(Box::new(Chatter::new(0)), Position::new(distance, 0.0));
+        (sim, a, b)
+    }
+
+    #[test]
+    fn broadcast_reaches_in_range_node() {
+        let (mut sim, a, b) = two_node_sim(100.0, 250.0);
+        sim.run_for(SimDuration::from_secs(1));
+        let rx = &sim.app_as::<Chatter>(b).unwrap().received;
+        assert_eq!(rx.len(), 3);
+        assert!(rx.iter().all(|(_, from, _)| *from == a));
+        // Delivery is delayed by at least base_delay.
+        assert!(rx[0].0 >= SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn broadcast_misses_out_of_range_node() {
+        let (mut sim, _a, b) = two_node_sim(300.0, 250.0);
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.app_as::<Chatter>(b).unwrap().received.is_empty());
+        assert_eq!(sim.stats().lost_range, 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| {
+            let mut sim = SimulatorBuilder::new(seed)
+                .radio(RadioConfig::unit_disk(250.0).with_loss(0.3))
+                .build();
+            let _a = sim.add_node(Box::new(Chatter::new(20)), Position::new(0.0, 0.0));
+            let b = sim.add_node(Box::new(Chatter::new(0)), Position::new(10.0, 0.0));
+            sim.run_for(SimDuration::from_secs(2));
+            sim.app_as::<Chatter>(b)
+                .unwrap()
+                .received
+                .iter()
+                .map(|(t, f, p)| (t.as_micros(), f.0, p.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        // And a different seed should (with 20 frames at 30% loss) differ.
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn unicast_only_reaches_target() {
+        struct Uni;
+        impl Application for Uni {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+                ctx.send(NodeId(1), Bytes::from_static(b"direct"));
+            }
+        }
+        let mut sim = SimulatorBuilder::new(5).radio(RadioConfig::unit_disk(500.0)).build();
+        let _a = sim.add_node(Box::new(Uni), Position::new(0.0, 0.0));
+        let b = sim.add_node(Box::new(Chatter::new(0)), Position::new(10.0, 0.0));
+        let c = sim.add_node(Box::new(Chatter::new(0)), Position::new(20.0, 0.0));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.app_as::<Chatter>(b).unwrap().received.len(), 1);
+        assert!(sim.app_as::<Chatter>(c).unwrap().received.is_empty());
+        assert_eq!(sim.stats().node(NodeId(0)).unicasts_sent, 1);
+    }
+
+    #[test]
+    fn dead_nodes_neither_send_nor_receive() {
+        let (mut sim, a, b) = two_node_sim(50.0, 250.0);
+        sim.kill(a);
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.app_as::<Chatter>(b).unwrap().received.is_empty());
+        // on_timer of a dead node is suppressed entirely.
+        assert_eq!(sim.log(a).len(), 0);
+        sim.revive(a);
+        assert!(sim.is_alive(a));
+    }
+
+    #[test]
+    fn collision_window_drops_second_frame() {
+        // Two senders firing at the same instant toward one receiver with
+        // zero jitter: the second arrival collides.
+        struct Once;
+        impl Application for Once {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(5), TimerToken(0));
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+                ctx.broadcast(Bytes::from_static(b"x"));
+            }
+        }
+        let mut radio = RadioConfig::unit_disk(500.0);
+        radio.jitter = SimDuration::ZERO;
+        let mut sim = SimulatorBuilder::new(3)
+            .radio(radio.with_collisions(SimDuration::from_millis(1)))
+            .build();
+        let _s1 = sim.add_node(Box::new(Once), Position::new(0.0, 0.0));
+        let _s2 = sim.add_node(Box::new(Once), Position::new(100.0, 0.0));
+        let r = sim.add_node(Box::new(Chatter::new(0)), Position::new(50.0, 0.0));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.app_as::<Chatter>(r).unwrap().received.len(), 1);
+        assert_eq!(sim.stats().lost_collision, 1);
+    }
+
+    #[test]
+    fn neighbors_in_range_ground_truth() {
+        let mut sim = SimulatorBuilder::new(1).radio(RadioConfig::unit_disk(100.0)).build();
+        let a = sim.add_node(Box::new(Chatter::new(0)), Position::new(0.0, 0.0));
+        let b = sim.add_node(Box::new(Chatter::new(0)), Position::new(60.0, 0.0));
+        let c = sim.add_node(Box::new(Chatter::new(0)), Position::new(130.0, 0.0));
+        assert_eq!(sim.neighbors_in_range(a), vec![b]);
+        assert_eq!(sim.neighbors_in_range(b), vec![a, c]);
+        sim.kill(c);
+        assert_eq!(sim.neighbors_in_range(b), vec![a]);
+    }
+
+    #[test]
+    fn clock_advances_to_deadline_without_events() {
+        let mut sim = SimulatorBuilder::new(1).build();
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn halt_stops_everything() {
+        struct Halter;
+        impl Application for Halter {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_secs(1), TimerToken(0));
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+                ctx.halt();
+            }
+        }
+        let mut sim = SimulatorBuilder::new(1).build();
+        sim.add_node(Box::new(Halter), Position::new(0.0, 0.0));
+        sim.run_until(SimTime::from_secs(100));
+        assert!(sim.is_halted());
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn mobile_node_positions_update_over_time() {
+        let mut sim = SimulatorBuilder::new(11)
+            .arena(Arena::new(200.0, 200.0))
+            .mobility_tick(SimDuration::from_millis(100))
+            .build();
+        let m = sim.add_mobile_node(
+            Box::new(Chatter::new(0)),
+            Position::new(100.0, 100.0),
+            MobilityModel::RandomWalk { speed: 20.0 },
+        );
+        let p0 = sim.position(m);
+        sim.run_for(SimDuration::from_secs(5));
+        let p1 = sim.position(m);
+        assert!(p0.distance(&p1) > 0.0, "mobile node never moved");
+    }
+
+    #[test]
+    fn injected_broadcast_delivered() {
+        let (mut sim, a, b) = two_node_sim(50.0, 250.0);
+        sim.run_for(SimDuration::from_millis(1)); // consume Start events
+        sim.inject_broadcast(a, Bytes::from_static(b"ghost"));
+        sim.run_for(SimDuration::from_secs(1));
+        let rx = &sim.app_as::<Chatter>(b).unwrap().received;
+        assert!(rx.iter().any(|(_, _, p)| p.as_ref() == b"ghost"));
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let (mut sim, a, _b) = two_node_sim(50.0, 250.0);
+        sim.run_for(SimDuration::from_secs(1));
+        // 3 broadcasts of "msg-N" (5 bytes each).
+        assert_eq!(sim.stats().node(a).broadcasts_sent, 3);
+        assert_eq!(sim.stats().node(a).bytes_sent, 15);
+    }
+}

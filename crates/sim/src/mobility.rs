@@ -1,0 +1,285 @@
+//! Positions, the arena and mobility models.
+//!
+//! Mobility matters to the reproduced paper twice: node movement causes
+//! *benign* MPR replacements (the E1 trigger that must not be mistaken for an
+//! attack), and the authors list "impact of mobility on trustworthiness
+//! evaluation" as future work — which the ablation experiments exercise.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::time::SimDuration;
+
+/// A point in the two-dimensional simulation arena, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Horizontal coordinate in metres.
+    pub x: f64,
+    /// Vertical coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Builds a position from coordinates in metres.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// The rectangular region `[0, width] × [0, height]` nodes live in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arena {
+    /// Width in metres.
+    pub width: f64,
+    /// Height in metres.
+    pub height: f64,
+}
+
+impl Arena {
+    /// Builds an arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is non-positive or non-finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "arena dimensions must be positive and finite"
+        );
+        Arena { width, height }
+    }
+
+    /// Clamps a position to lie inside the arena.
+    pub fn clamp(&self, p: Position) -> Position {
+        Position::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// `true` when `p` lies inside the arena (inclusive of the border).
+    pub fn contains(&self, p: Position) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Draws a uniformly random position inside the arena.
+    pub fn random_position(&self, rng: &mut StdRng) -> Position {
+        Position::new(rng.random_range(0.0..=self.width), rng.random_range(0.0..=self.height))
+    }
+}
+
+impl Default for Arena {
+    /// A 1000 m × 1000 m arena.
+    fn default() -> Self {
+        Arena { width: 1000.0, height: 1000.0 }
+    }
+}
+
+/// How a node moves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MobilityModel {
+    /// The node never moves. This is the paper's evaluation setting.
+    Stationary,
+    /// Classic random waypoint: pick a uniform destination, travel to it at a
+    /// uniform speed drawn from `[speed_min, speed_max]` m/s, pause, repeat.
+    RandomWaypoint {
+        /// Minimum travel speed in m/s (must be > 0).
+        speed_min: f64,
+        /// Maximum travel speed in m/s (must be >= `speed_min`).
+        speed_max: f64,
+        /// Pause duration at each waypoint.
+        pause: SimDuration,
+    },
+    /// Brownian-style walk: each tick, move `speed` m/s in a fresh uniform
+    /// direction, reflecting off the arena border.
+    RandomWalk {
+        /// Speed in m/s.
+        speed: f64,
+    },
+}
+
+impl Default for MobilityModel {
+    fn default() -> Self {
+        MobilityModel::Stationary
+    }
+}
+
+/// Engine-side state for one node's mobility.
+#[derive(Debug, Clone)]
+pub(crate) struct MobilityState {
+    pub model: MobilityModel,
+    /// Destination of the current random-waypoint leg, if any.
+    waypoint: Option<Position>,
+    /// Current speed of the leg, m/s.
+    speed: f64,
+    /// Remaining pause time at a reached waypoint.
+    pause_left: SimDuration,
+}
+
+impl MobilityState {
+    pub fn new(model: MobilityModel) -> Self {
+        MobilityState { model, waypoint: None, speed: 0.0, pause_left: SimDuration::ZERO }
+    }
+
+    /// Advances the node by `dt`, returning its new position.
+    pub fn step(&mut self, pos: Position, dt: SimDuration, arena: &Arena, rng: &mut StdRng) -> Position {
+        match self.model.clone() {
+            MobilityModel::Stationary => pos,
+            MobilityModel::RandomWalk { speed } => {
+                let angle = rng.random_range(0.0..std::f64::consts::TAU);
+                let d = speed * dt.as_secs_f64();
+                let mut p = Position::new(pos.x + d * angle.cos(), pos.y + d * angle.sin());
+                // Reflect off the borders.
+                if p.x < 0.0 {
+                    p.x = -p.x;
+                }
+                if p.y < 0.0 {
+                    p.y = -p.y;
+                }
+                if p.x > arena.width {
+                    p.x = 2.0 * arena.width - p.x;
+                }
+                if p.y > arena.height {
+                    p.y = 2.0 * arena.height - p.y;
+                }
+                arena.clamp(p)
+            }
+            MobilityModel::RandomWaypoint { speed_min, speed_max, pause } => {
+                if !self.pause_left.is_zero() {
+                    self.pause_left = self.pause_left - dt.min(self.pause_left);
+                    return pos;
+                }
+                let target = match self.waypoint {
+                    Some(t) => t,
+                    None => {
+                        let t = arena.random_position(rng);
+                        self.speed = if speed_max > speed_min {
+                            rng.random_range(speed_min..=speed_max)
+                        } else {
+                            speed_min
+                        };
+                        self.waypoint = Some(t);
+                        t
+                    }
+                };
+                let dist = pos.distance(&target);
+                let travel = self.speed * dt.as_secs_f64();
+                if travel >= dist {
+                    // Arrived: start pausing, next tick picks a new waypoint.
+                    self.waypoint = None;
+                    self.pause_left = pause;
+                    target
+                } else {
+                    let f = travel / dist;
+                    Position::new(pos.x + (target.x - pos.x) * f, pos.y + (target.y - pos.y) * f)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn arena_clamp_and_contains() {
+        let arena = Arena::new(100.0, 50.0);
+        assert!(arena.contains(Position::new(0.0, 0.0)));
+        assert!(arena.contains(Position::new(100.0, 50.0)));
+        assert!(!arena.contains(Position::new(100.1, 0.0)));
+        let p = arena.clamp(Position::new(-5.0, 60.0));
+        assert_eq!(p, Position::new(0.0, 50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_arena_rejected() {
+        let _ = Arena::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let arena = Arena::default();
+        let mut st = MobilityState::new(MobilityModel::Stationary);
+        let p0 = Position::new(10.0, 20.0);
+        let mut r = rng();
+        let p1 = st.step(p0, SimDuration::from_secs(100), &arena, &mut r);
+        assert_eq!(p0, p1);
+    }
+
+    #[test]
+    fn random_walk_stays_in_arena_and_moves() {
+        let arena = Arena::new(50.0, 50.0);
+        let mut st = MobilityState::new(MobilityModel::RandomWalk { speed: 10.0 });
+        let mut p = Position::new(25.0, 25.0);
+        let mut r = rng();
+        let mut moved = false;
+        for _ in 0..1000 {
+            let q = st.step(p, SimDuration::from_millis(100), &arena, &mut r);
+            assert!(arena.contains(q), "escaped arena: {q:?}");
+            if q.distance(&p) > 0.0 {
+                moved = true;
+            }
+            p = q;
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    fn waypoint_reaches_target_then_pauses() {
+        let arena = Arena::new(100.0, 100.0);
+        let mut st = MobilityState::new(MobilityModel::RandomWaypoint {
+            speed_min: 10.0,
+            speed_max: 10.0,
+            pause: SimDuration::from_secs(5),
+        });
+        let mut p = Position::new(50.0, 50.0);
+        let mut r = rng();
+        // Drive it until a waypoint is chosen and reached.
+        let mut arrived_at: Option<Position> = None;
+        for _ in 0..10_000 {
+            let before_waypoint = st.waypoint;
+            p = st.step(p, SimDuration::from_millis(200), &arena, &mut r);
+            if before_waypoint.is_some() && st.waypoint.is_none() {
+                arrived_at = Some(p);
+                break;
+            }
+        }
+        let stop = arrived_at.expect("never arrived at a waypoint");
+        // While pausing the node must not move.
+        let q = st.step(p, SimDuration::from_secs(1), &arena, &mut r);
+        assert_eq!(q, stop);
+    }
+
+    #[test]
+    fn waypoint_speed_range_degenerate() {
+        // speed_min == speed_max must not panic (empty range guard).
+        let arena = Arena::new(100.0, 100.0);
+        let mut st = MobilityState::new(MobilityModel::RandomWaypoint {
+            speed_min: 5.0,
+            speed_max: 5.0,
+            pause: SimDuration::ZERO,
+        });
+        let mut r = rng();
+        let _ = st.step(Position::new(0.0, 0.0), SimDuration::from_secs(1), &arena, &mut r);
+    }
+}

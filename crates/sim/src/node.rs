@@ -1,0 +1,289 @@
+//! Node identity, the application trait and the per-callback context.
+//!
+//! A *node* in the simulator is an [`Application`] (the protocol stack under
+//! test) plus engine-owned state: a position, a mobility state, an audit
+//! [`LogBuffer`] and traffic counters. Applications never touch the engine
+//! directly; every side effect goes through the [`Context`] handed to each
+//! callback, which keeps the simulation deterministic and replayable.
+
+use std::any::Any;
+use std::fmt;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+
+use crate::time::{SimDuration, SimTime};
+
+/// The identity of a node: its OLSR *main address* in the reproduced system.
+///
+/// ```
+/// use trustlink_sim::NodeId;
+/// assert_eq!(NodeId(7).to_string(), "N7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The numeric index of the node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// An opaque timer identifier chosen by the application.
+///
+/// The engine never interprets the token; protocols use it to multiplex
+/// several logical timers over the single engine timer facility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimerToken(pub u64);
+
+impl fmt::Display for TimerToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// The behaviour installed on a node.
+///
+/// All callbacks receive a [`Context`] used to emit frames, arm timers and
+/// append audit-log lines. Implementations must be `'static` (they are boxed
+/// into the engine) and should be deterministic given the context RNG.
+///
+/// The supertrait [`Any`] enables downcasting a `dyn Application` back to its
+/// concrete type for post-run inspection, e.g.
+/// `sim.app(id).downcast_ref::<MyApp>()` via trait upcasting.
+pub trait Application: Any {
+    /// Called once when the simulation starts (or the node is added to a
+    /// running simulation).
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a radio frame transmitted by `from` reaches this node.
+    fn on_receive(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _payload: Bytes) {}
+
+    /// Called when a timer armed with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: TimerToken) {}
+}
+
+/// A side effect requested by an application; executed by the engine after
+/// the callback returns, in request order.
+#[derive(Debug, Clone)]
+pub(crate) enum Command {
+    /// Transmit a broadcast frame on the shared medium.
+    Broadcast { payload: Bytes },
+    /// Transmit a frame addressed to a (supposed) radio neighbor. Subject to
+    /// exactly the same propagation/loss rules as a broadcast, but only `to`
+    /// may receive it.
+    Unicast { to: NodeId, payload: Bytes },
+    /// Arm a one-shot timer.
+    SetTimer { delay: SimDuration, token: TimerToken },
+    /// Stop the whole simulation at the current instant.
+    Halt,
+}
+
+/// The per-callback handle through which an application interacts with the
+/// simulated world.
+///
+/// Everything an application can do — learn the time, draw randomness, send
+/// frames, arm timers, write logs — is funnelled through this type.
+pub struct Context<'a> {
+    node: NodeId,
+    now: SimTime,
+    rng: &'a mut StdRng,
+    log: &'a mut LogBuffer,
+    commands: &'a mut Vec<Command>,
+}
+
+impl<'a> Context<'a> {
+    pub(crate) fn new(
+        node: NodeId,
+        now: SimTime,
+        rng: &'a mut StdRng,
+        log: &'a mut LogBuffer,
+        commands: &'a mut Vec<Command>,
+    ) -> Self {
+        Context { node, now, rng, log, commands }
+    }
+
+    /// The identity of the node this callback runs on.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulation-wide deterministic random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues a broadcast frame for transmission on the shared medium.
+    pub fn broadcast(&mut self, payload: Bytes) {
+        self.commands.push(Command::Broadcast { payload });
+    }
+
+    /// Queues a link-local unicast frame addressed to `to`.
+    ///
+    /// Delivery is subject to the same range and loss rules as a broadcast;
+    /// the frame is simply ignored by every other node.
+    pub fn send(&mut self, to: NodeId, payload: Bytes) {
+        self.commands.push(Command::Unicast { to, payload });
+    }
+
+    /// Arms a one-shot timer that will fire `delay` from now with `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.commands.push(Command::SetTimer { delay, token });
+    }
+
+    /// Appends a line to this node's audit log, stamped with the current
+    /// simulation time.
+    pub fn log(&mut self, line: impl Into<String>) {
+        self.log.push(self.now, line.into());
+    }
+
+    /// Read access to this node's own audit log — how a log-based intrusion
+    /// detector co-located with the router tails "its" log file.
+    pub fn log_buffer(&self) -> &LogBuffer {
+        self.log
+    }
+
+    /// Requests the end of the whole simulation at the current instant.
+    pub fn halt(&mut self) {
+        self.commands.push(Command::Halt);
+    }
+}
+
+/// An append-only, time-stamped log owned by one node.
+///
+/// The trust-enabled detector of the paper is *log based*: it reads these
+/// lines — and nothing else — to find signs of intrusion. The buffer
+/// supports cursor-style incremental reads so a detector can periodically
+/// consume "what happened since I last looked".
+///
+/// ```
+/// use trustlink_sim::node::LogBuffer;
+/// use trustlink_sim::time::SimTime;
+///
+/// let mut log = LogBuffer::default();
+/// log.push(SimTime::from_secs(1), "HELLO_RX from=N2".to_string());
+/// let (lines, cursor) = log.read_from(0);
+/// assert_eq!(lines.len(), 1);
+/// let (rest, _) = log.read_from(cursor);
+/// assert!(rest.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LogBuffer {
+    entries: Vec<(SimTime, String)>,
+}
+
+impl LogBuffer {
+    /// Appends one line stamped `at`.
+    pub fn push(&mut self, at: SimTime, line: String) {
+        self.entries.push((at, line));
+    }
+
+    /// Number of lines logged so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All `(timestamp, line)` entries, oldest first.
+    pub fn entries(&self) -> &[(SimTime, String)] {
+        &self.entries
+    }
+
+    /// Iterator over the raw text lines, oldest first.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(_, l)| l.as_str())
+    }
+
+    /// Returns the entries appended at or after position `cursor`, plus the
+    /// next cursor value. Feeding the returned cursor back yields only new
+    /// entries — the idiom for periodic log analysis.
+    pub fn read_from(&self, cursor: usize) -> (&[(SimTime, String)], usize) {
+        let start = cursor.min(self.entries.len());
+        (&self.entries[start..], self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "N3");
+        assert_eq!(NodeId(3).index(), 3);
+    }
+
+    #[test]
+    fn context_queues_commands_in_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut log = LogBuffer::default();
+        let mut commands = Vec::new();
+        let mut ctx = Context::new(
+            NodeId(0),
+            SimTime::from_secs(5),
+            &mut rng,
+            &mut log,
+            &mut commands,
+        );
+        assert_eq!(ctx.id(), NodeId(0));
+        assert_eq!(ctx.now(), SimTime::from_secs(5));
+        ctx.broadcast(Bytes::from_static(b"a"));
+        ctx.send(NodeId(1), Bytes::from_static(b"b"));
+        ctx.set_timer(SimDuration::from_secs(1), TimerToken(9));
+        ctx.log("something happened");
+        ctx.halt();
+        assert_eq!(commands.len(), 4);
+        assert!(matches!(commands[0], Command::Broadcast { .. }));
+        assert!(matches!(commands[1], Command::Unicast { to: NodeId(1), .. }));
+        assert!(matches!(
+            commands[2],
+            Command::SetTimer { token: TimerToken(9), .. }
+        ));
+        assert!(matches!(commands[3], Command::Halt));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.entries()[0].0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn log_buffer_cursor_semantics() {
+        let mut log = LogBuffer::default();
+        assert!(log.is_empty());
+        log.push(SimTime::ZERO, "one".into());
+        log.push(SimTime::from_secs(1), "two".into());
+        let (all, c) = log.read_from(0);
+        assert_eq!(all.len(), 2);
+        log.push(SimTime::from_secs(2), "three".into());
+        let (new, c2) = log.read_from(c);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].1, "three");
+        // A cursor beyond the end is clamped rather than panicking.
+        let (none, _) = log.read_from(c2 + 100);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn log_lines_iterates_text() {
+        let mut log = LogBuffer::default();
+        log.push(SimTime::ZERO, "alpha".into());
+        log.push(SimTime::ZERO, "beta".into());
+        let collected: Vec<&str> = log.lines().collect();
+        assert_eq!(collected, vec!["alpha", "beta"]);
+    }
+}

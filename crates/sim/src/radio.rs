@@ -1,0 +1,262 @@
+//! The wireless medium: propagation, loss, delay and collisions.
+//!
+//! The paper's trust system exists precisely because the medium is
+//! unreliable — "the high level of collisions" makes even honest evidence
+//! uncertain. The radio model is therefore configurable along all the axes
+//! that matter to the evaluation: range, independent frame loss, delay
+//! jitter and a receiver-side collision window.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::mobility::Position;
+use crate::time::SimDuration;
+
+/// How received power falls off with distance, reduced to a delivery
+/// probability per frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Propagation {
+    /// Perfect reception up to `range` metres, nothing beyond. The classic
+    /// unit-disk model; the default.
+    UnitDisk {
+        /// Radio range in metres.
+        range: f64,
+    },
+    /// Perfect reception up to `full_range`, then delivery probability
+    /// decays linearly to zero at `max_range`. A cheap stand-in for fading
+    /// that still yields the "two nodes in range often fail to communicate"
+    /// phenomenon the paper highlights for evidence E3.
+    LinearFade {
+        /// Distance up to which delivery is certain, in metres.
+        full_range: f64,
+        /// Distance at which delivery probability reaches zero, in metres.
+        max_range: f64,
+    },
+}
+
+impl Propagation {
+    /// Probability that a frame crosses `distance` metres, before
+    /// independent Bernoulli loss is applied.
+    pub fn delivery_probability(&self, distance: f64) -> f64 {
+        match *self {
+            Propagation::UnitDisk { range } => {
+                if distance <= range {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Propagation::LinearFade { full_range, max_range } => {
+                if distance <= full_range {
+                    1.0
+                } else if distance >= max_range {
+                    0.0
+                } else {
+                    1.0 - (distance - full_range) / (max_range - full_range)
+                }
+            }
+        }
+    }
+
+    /// The distance beyond which delivery is impossible.
+    pub fn max_range(&self) -> f64 {
+        match *self {
+            Propagation::UnitDisk { range } => range,
+            Propagation::LinearFade { max_range, .. } => max_range,
+        }
+    }
+}
+
+/// Full configuration of the shared medium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioConfig {
+    /// Path-loss model.
+    pub propagation: Propagation,
+    /// Independent probability that an otherwise-deliverable frame is lost
+    /// (interference, checksum failure, ...). `0.0` disables.
+    pub loss_probability: f64,
+    /// Fixed propagation + processing delay applied to every frame.
+    pub base_delay: SimDuration,
+    /// Uniform extra delay in `[0, jitter]` added per receiver. Jitter keeps
+    /// simultaneous receptions apart and is the standard OLSR trick to avoid
+    /// synchronized floods.
+    pub jitter: SimDuration,
+    /// When set, two frames arriving at the same receiver closer together
+    /// than this window collide: the later frame is lost. `None` disables
+    /// collision modelling.
+    pub collision_window: Option<SimDuration>,
+}
+
+impl RadioConfig {
+    /// A loss-free unit-disk radio with 1 ms delay and 2 ms jitter.
+    pub fn unit_disk(range: f64) -> Self {
+        RadioConfig {
+            propagation: Propagation::UnitDisk { range },
+            loss_probability: 0.0,
+            base_delay: SimDuration::from_millis(1),
+            jitter: SimDuration::from_millis(2),
+            collision_window: None,
+        }
+    }
+
+    /// Sets the independent frame-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        self.loss_probability = p;
+        self
+    }
+
+    /// Enables the receiver-side collision window.
+    pub fn with_collisions(mut self, window: SimDuration) -> Self {
+        self.collision_window = Some(window);
+        self
+    }
+
+    /// Replaces the propagation model.
+    pub fn with_propagation(mut self, p: Propagation) -> Self {
+        self.propagation = p;
+        self
+    }
+
+    /// Decides the fate of a frame sent from `tx` toward a receiver at `rx`.
+    pub fn judge(&self, tx: Position, rx: Position, rng: &mut StdRng) -> DeliveryOutcome {
+        let d = tx.distance(&rx);
+        let p = self.propagation.delivery_probability(d);
+        if p <= 0.0 {
+            return DeliveryOutcome::OutOfRange;
+        }
+        if p < 1.0 && !rng.random_bool(p) {
+            return DeliveryOutcome::Lost;
+        }
+        if self.loss_probability > 0.0 && rng.random_bool(self.loss_probability) {
+            return DeliveryOutcome::Lost;
+        }
+        let jitter = if self.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(rng.random_range(0..=self.jitter.as_micros()))
+        };
+        DeliveryOutcome::Deliver(self.base_delay + jitter)
+    }
+
+    /// Decides whether a frame sent from `tx` reaches a receiver at `rx`,
+    /// and with what delay. `None` means the frame is lost.
+    pub fn sample_delivery(
+        &self,
+        tx: Position,
+        rx: Position,
+        rng: &mut StdRng,
+    ) -> Option<SimDuration> {
+        match self.judge(tx, rx, rng) {
+            DeliveryOutcome::Deliver(d) => Some(d),
+            DeliveryOutcome::OutOfRange | DeliveryOutcome::Lost => None,
+        }
+    }
+}
+
+/// The fate of one frame at one potential receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// The frame arrives after the given delay.
+    Deliver(SimDuration),
+    /// The receiver is beyond the propagation model's maximum range.
+    OutOfRange,
+    /// The frame was dropped by fading or Bernoulli loss.
+    Lost,
+}
+
+impl Default for RadioConfig {
+    /// `RadioConfig::unit_disk(250.0)` — the conventional 250 m 802.11 range.
+    fn default() -> Self {
+        RadioConfig::unit_disk(250.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn unit_disk_is_sharp() {
+        let p = Propagation::UnitDisk { range: 100.0 };
+        assert_eq!(p.delivery_probability(0.0), 1.0);
+        assert_eq!(p.delivery_probability(100.0), 1.0);
+        assert_eq!(p.delivery_probability(100.01), 0.0);
+        assert_eq!(p.max_range(), 100.0);
+    }
+
+    #[test]
+    fn linear_fade_interpolates() {
+        let p = Propagation::LinearFade { full_range: 100.0, max_range: 200.0 };
+        assert_eq!(p.delivery_probability(50.0), 1.0);
+        assert_eq!(p.delivery_probability(100.0), 1.0);
+        assert!((p.delivery_probability(150.0) - 0.5).abs() < 1e-12);
+        assert_eq!(p.delivery_probability(200.0), 0.0);
+        assert_eq!(p.delivery_probability(500.0), 0.0);
+        assert_eq!(p.max_range(), 200.0);
+    }
+
+    #[test]
+    fn in_range_lossless_always_delivers() {
+        let cfg = RadioConfig::unit_disk(100.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = cfg
+                .sample_delivery(Position::new(0.0, 0.0), Position::new(50.0, 0.0), &mut r)
+                .expect("in-range lossless frame must be delivered");
+            assert!(d >= cfg.base_delay);
+            assert!(d <= cfg.base_delay + cfg.jitter);
+        }
+    }
+
+    #[test]
+    fn out_of_range_never_delivers() {
+        let cfg = RadioConfig::unit_disk(100.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(cfg
+                .sample_delivery(Position::new(0.0, 0.0), Position::new(101.0, 0.0), &mut r)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn loss_probability_thins_deliveries() {
+        let cfg = RadioConfig::unit_disk(100.0).with_loss(0.5);
+        let mut r = rng();
+        let delivered = (0..10_000)
+            .filter(|_| {
+                cfg.sample_delivery(Position::new(0.0, 0.0), Position::new(10.0, 0.0), &mut r)
+                    .is_some()
+            })
+            .count();
+        // Binomial(10_000, 0.5): ±4σ ≈ ±200.
+        assert!((4800..=5200).contains(&delivered), "delivered={delivered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bogus_loss_rejected() {
+        let _ = RadioConfig::default().with_loss(1.5);
+    }
+
+    #[test]
+    fn zero_jitter_gives_fixed_delay() {
+        let mut cfg = RadioConfig::unit_disk(100.0);
+        cfg.jitter = SimDuration::ZERO;
+        let mut r = rng();
+        let d = cfg
+            .sample_delivery(Position::new(0.0, 0.0), Position::new(1.0, 0.0), &mut r)
+            .unwrap();
+        assert_eq!(d, cfg.base_delay);
+    }
+}

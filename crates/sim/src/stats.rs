@@ -1,0 +1,100 @@
+//! Traffic accounting.
+//!
+//! The paper lists "the resource consumption that is related to the trust
+//! system" as future work; these counters are what the ablation experiments
+//! report for it (frames transmitted/delivered/lost per node and in total).
+
+use crate::node::NodeId;
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Broadcast frames transmitted by this node.
+    pub broadcasts_sent: u64,
+    /// Unicast frames transmitted by this node.
+    pub unicasts_sent: u64,
+    /// Frames received (after range/loss/collision filtering).
+    pub received: u64,
+    /// Payload bytes transmitted (broadcast + unicast).
+    pub bytes_sent: u64,
+}
+
+/// Simulation-wide traffic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    per_node: Vec<NodeStats>,
+    /// Frames lost because the receiver was out of range (counted once per
+    /// potential receiver).
+    pub lost_range: u64,
+    /// Frames lost to Bernoulli/fading loss.
+    pub lost_random: u64,
+    /// Frames lost to receiver-side collisions.
+    pub lost_collision: u64,
+}
+
+impl TrafficStats {
+    pub(crate) fn ensure_node(&mut self, id: NodeId) {
+        if self.per_node.len() <= id.index() {
+            self.per_node.resize(id.index() + 1, NodeStats::default());
+        }
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut NodeStats {
+        self.ensure_node(id);
+        &mut self.per_node[id.index()]
+    }
+
+    /// Counters for one node (zeros if the node never appeared).
+    pub fn node(&self, id: NodeId) -> NodeStats {
+        self.per_node.get(id.index()).copied().unwrap_or_default()
+    }
+
+    /// Total frames transmitted (broadcast + unicast) across all nodes.
+    pub fn total_sent(&self) -> u64 {
+        self.per_node.iter().map(|s| s.broadcasts_sent + s.unicasts_sent).sum()
+    }
+
+    /// Total frames received across all nodes.
+    pub fn total_received(&self) -> u64 {
+        self.per_node.iter().map(|s| s.received).sum()
+    }
+
+    /// Total payload bytes transmitted across all nodes.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.per_node.iter().map(|s| s.bytes_sent).sum()
+    }
+
+    /// Total frames lost for any reason.
+    pub fn total_lost(&self) -> u64 {
+        self.lost_range + self.lost_random + self.lost_collision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut stats = TrafficStats::default();
+        stats.node_mut(NodeId(2)).broadcasts_sent += 3;
+        stats.node_mut(NodeId(2)).bytes_sent += 30;
+        stats.node_mut(NodeId(0)).unicasts_sent += 1;
+        stats.node_mut(NodeId(1)).received += 5;
+        stats.lost_range += 2;
+        stats.lost_random += 1;
+
+        assert_eq!(stats.node(NodeId(2)).broadcasts_sent, 3);
+        assert_eq!(stats.total_sent(), 4);
+        assert_eq!(stats.total_received(), 5);
+        assert_eq!(stats.total_bytes_sent(), 30);
+        assert_eq!(stats.total_lost(), 3);
+    }
+
+    #[test]
+    fn unknown_node_reads_as_zero() {
+        let stats = TrafficStats::default();
+        assert_eq!(stats.node(NodeId(9)), NodeStats::default());
+        assert_eq!(stats.total_sent(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Formula (8): trust-weighted aggregation of investigation answers.
+//!
+//! During a cooperative investigation about a suspicious node `I`, each
+//! interrogated neighbor `S_i` returns an answer about the contested link:
+//! `+1` (the advertised link is correct), `-1` (the link is wrong — `I` is
+//! spoofing) or `0` (no answer before the timeout). The investigator `A`
+//! merges them:
+//!
+//! > `Detect(A,I) = Σ_i w_i · T(A,S_i) · e_i` with `w_i = 1 / Σ_j T(A,S_j)`
+//!
+//! so that an answer counts in proportion to the answerer's trust. A result
+//! near `-1` means "the advertised link is almost certainly spoofed".
+
+use crate::value::TrustValue;
+
+/// A witness's answer to "is the link advertised by the suspect real?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Answer {
+    /// `e = +1`: the advertised link is correct; no spoofing observed.
+    Confirm,
+    /// `e = -1`: the advertised link is wrong.
+    Deny,
+    /// `e = 0`: the witness did not answer before the timeout.
+    NoAnswer,
+}
+
+impl Answer {
+    /// The numeric evidence value `e_i` of the paper.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Answer::Confirm => 1.0,
+            Answer::Deny => -1.0,
+            Answer::NoAnswer => 0.0,
+        }
+    }
+
+    /// Builds an answer from a boolean verification result.
+    pub fn from_verification(link_ok: bool) -> Self {
+        if link_ok {
+            Answer::Confirm
+        } else {
+            Answer::Deny
+        }
+    }
+}
+
+/// Formula (8): merges `(trust-in-witness, answer)` pairs into a detection
+/// value in `[-1, 1]`.
+///
+/// Implementation notes, documented in `DESIGN.md`:
+///
+/// * Negative trust contributes **zero** weight (via
+///   [`TrustValue::weight`]): a distrusted witness is ignored rather than
+///   having its vote inverted.
+/// * The normalizer sums the trust of *all* witnesses, including those that
+///   did not answer (`e = 0`). Missing answers therefore dilute the result
+///   toward zero — this is what makes the paper's Figure 3 converge near
+///   `-0.8` rather than `-1` in an unreliable network.
+/// * If no witness carries positive trust the result is `0.0` (complete
+///   uncertainty).
+///
+/// ```
+/// use trustlink_trust::{detection_value, Answer, TrustValue};
+/// let detect = detection_value([
+///     (TrustValue::new(0.8), Answer::Deny),
+///     (TrustValue::new(0.8), Answer::Deny),
+///     (TrustValue::new(0.1), Answer::Confirm), // a barely-trusted liar
+/// ]);
+/// assert!(detect < -0.8);
+/// ```
+pub fn detection_value(
+    answers: impl IntoIterator<Item = (TrustValue, Answer)>,
+) -> f64 {
+    let mut num = 0.0;
+    let mut denom = 0.0;
+    for (trust, answer) in answers {
+        let w = trust.weight();
+        num += w * answer.as_f64();
+        denom += w;
+    }
+    if denom <= 0.0 {
+        0.0
+    } else {
+        num / denom
+    }
+}
+
+/// The evidence *sample* used for the formula (9) confidence interval:
+/// the trust-weighted evidences `T_i⁺ · e_i` of the witnesses that actually
+/// answered and carry positive trust.
+///
+/// §IV-C estimates the spread of "the partial set of evidences e_1..e_n
+/// (namely the sample)"; witnesses that never answered contributed no
+/// evidence, and distrusted witnesses contribute none to the aggregate, so
+/// neither belongs in the sample. As liars lose trust their (weighted)
+/// evidences vanish from the sample, the spread collapses, and the interval
+/// narrows — which is how the paper's investigations become decisive "at
+/// any round" once the trust system has done its work.
+pub fn weighted_evidence_samples(
+    answers: impl IntoIterator<Item = (TrustValue, Answer)>,
+) -> Vec<f64> {
+    answers
+        .into_iter()
+        .filter(|(t, a)| *a != Answer::NoAnswer && t.weight() > 0.0)
+        .map(|(t, a)| t.weight() * a.as_f64())
+        .collect()
+}
+
+/// The unweighted counterpart of [`weighted_evidence_samples`] (for the
+/// trust-weighting ablation): the raw evidences of answering witnesses.
+pub fn answered_samples(answers: impl IntoIterator<Item = Answer>) -> Vec<f64> {
+    answers
+        .into_iter()
+        .filter(|a| *a != Answer::NoAnswer)
+        .map(|a| a.as_f64())
+        .collect()
+}
+
+/// Like [`detection_value`] but *without* trust weighting — every witness
+/// counts equally. This is the ablation baseline ("trust-weighting off")
+/// used to show how much the trust system buys.
+pub fn unweighted_detection_value(answers: impl IntoIterator<Item = Answer>) -> f64 {
+    let mut num = 0.0;
+    let mut n = 0u32;
+    for answer in answers {
+        num += answer.as_f64();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        num / f64::from(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_values() {
+        assert_eq!(Answer::Confirm.as_f64(), 1.0);
+        assert_eq!(Answer::Deny.as_f64(), -1.0);
+        assert_eq!(Answer::NoAnswer.as_f64(), 0.0);
+        assert_eq!(Answer::from_verification(true), Answer::Confirm);
+        assert_eq!(Answer::from_verification(false), Answer::Deny);
+    }
+
+    #[test]
+    fn unanimous_denial_is_minus_one() {
+        let d = detection_value([
+            (TrustValue::new(0.5), Answer::Deny),
+            (TrustValue::new(0.9), Answer::Deny),
+        ]);
+        assert_eq!(d, -1.0);
+    }
+
+    #[test]
+    fn unanimous_confirmation_is_plus_one() {
+        let d = detection_value([
+            (TrustValue::new(0.5), Answer::Confirm),
+            (TrustValue::new(0.9), Answer::Confirm),
+        ]);
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn missing_answers_dilute() {
+        // Two trusted deniers plus one trusted silent witness: |Detect| < 1.
+        let d = detection_value([
+            (TrustValue::new(0.6), Answer::Deny),
+            (TrustValue::new(0.6), Answer::Deny),
+            (TrustValue::new(0.6), Answer::NoAnswer),
+        ]);
+        assert!((d - (-2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distrusted_witness_is_ignored() {
+        let d = detection_value([
+            (TrustValue::new(0.8), Answer::Deny),
+            (TrustValue::new(-0.9), Answer::Confirm), // loud, but distrusted
+        ]);
+        assert_eq!(d, -1.0);
+    }
+
+    #[test]
+    fn zero_total_trust_gives_zero() {
+        let d = detection_value([
+            (TrustValue::new(-0.5), Answer::Deny),
+            (TrustValue::new(0.0), Answer::Confirm),
+        ]);
+        assert_eq!(d, 0.0);
+        assert_eq!(detection_value([]), 0.0);
+    }
+
+    #[test]
+    fn trusted_liars_can_sway_early_rounds() {
+        // The phenomenon behind Figure 3: while liars still hold trust,
+        // they pull Detect toward zero.
+        let honest = (TrustValue::new(0.5), Answer::Deny);
+        let liar = (TrustValue::new(0.5), Answer::Confirm);
+        let d_few_liars = detection_value([honest, honest, honest, liar]);
+        let d_more_liars = detection_value([honest, honest, liar, liar]);
+        assert!(d_few_liars < d_more_liars, "{d_few_liars} vs {d_more_liars}");
+        assert_eq!(d_more_liars, 0.0);
+    }
+
+    #[test]
+    fn result_always_within_bounds() {
+        for i in 0..50 {
+            let t = TrustValue::new(-1.0 + (i as f64) / 25.0);
+            for a in [Answer::Confirm, Answer::Deny, Answer::NoAnswer] {
+                let d = detection_value([(t, a), (TrustValue::new(0.3), Answer::Deny)]);
+                assert!((-1.0..=1.0).contains(&d), "out of bounds: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn unweighted_baseline_counts_everyone() {
+        let d = unweighted_detection_value([Answer::Deny, Answer::Deny, Answer::Confirm]);
+        assert!((d - (-1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(unweighted_detection_value([]), 0.0);
+    }
+
+    #[test]
+    fn weighted_samples_drop_silent_and_distrusted() {
+        let samples = weighted_evidence_samples([
+            (TrustValue::new(0.8), Answer::Deny),      // in: -0.8
+            (TrustValue::new(0.5), Answer::NoAnswer),  // out: silent
+            (TrustValue::new(-0.3), Answer::Confirm),  // out: distrusted
+            (TrustValue::new(0.0), Answer::Confirm),   // out: zero weight
+            (TrustValue::new(0.2), Answer::Confirm),   // in: +0.2
+        ]);
+        assert_eq!(samples, vec![-0.8, 0.2]);
+    }
+
+    #[test]
+    fn weighted_samples_collapse_when_liars_lose_trust() {
+        // The interval-narrowing mechanism: identical trusted deniers give
+        // zero spread.
+        let samples = weighted_evidence_samples([
+            (TrustValue::new(0.9), Answer::Deny),
+            (TrustValue::new(0.9), Answer::Deny),
+            (TrustValue::new(-0.8), Answer::Confirm),
+        ]);
+        assert_eq!(samples, vec![-0.9, -0.9]);
+        assert_eq!(crate::confidence::sample_std_dev(&samples), 0.0);
+    }
+
+    #[test]
+    fn answered_samples_keep_raw_answers() {
+        let samples =
+            answered_samples([Answer::Deny, Answer::NoAnswer, Answer::Confirm, Answer::Deny]);
+        assert_eq!(samples, vec![-1.0, 1.0, -1.0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Rule (10): the three-way detection verdict.
+//!
+//! Given the detection value `Detect(A,I)` of formula (8) and the margin of
+//! error `Ci = ε` of formula (9):
+//!
+//! > `I` is **well-behaving** if `γ ≤ Detect − Ci ≤ 1`
+//! > `I` is an **intruder**  if `−1 ≤ Detect + Ci ≤ −γ`
+//! > `I` is **unrecognized** otherwise
+//!
+//! i.e. a node is only judged when the *pessimistic* end of its confidence
+//! interval still clears the decision threshold `γ`. An `unrecognized`
+//! verdict asks the investigator to collect more evidence.
+
+use std::fmt;
+
+/// The outcome of applying rule (10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The suspicious node's advertised links check out.
+    WellBehaving,
+    /// The suspicious node is judged to be spoofing.
+    Intruder,
+    /// Evidence is insufficient or too contradictory; keep investigating.
+    Unrecognized,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::WellBehaving => "well-behaving",
+            Verdict::Intruder => "intruder",
+            Verdict::Unrecognized => "unrecognized",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Rule (10) with threshold `γ`.
+///
+/// ```
+/// use trustlink_trust::{DecisionRule, Verdict};
+/// let rule = DecisionRule::new(0.6);
+/// assert_eq!(rule.decide(-0.9, 0.1), Verdict::Intruder);
+/// assert_eq!(rule.decide(0.9, 0.1), Verdict::WellBehaving);
+/// assert_eq!(rule.decide(-0.9, 0.5), Verdict::Unrecognized); // interval too wide
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRule {
+    gamma: f64,
+}
+
+impl DecisionRule {
+    /// Builds a rule with threshold `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < gamma ≤ 1`.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1], got {gamma}");
+        DecisionRule { gamma }
+    }
+
+    /// The decision threshold γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Applies rule (10) to a detection value and a margin of error.
+    ///
+    /// `margin` may be [`f64::INFINITY`] (unknowable spread), which always
+    /// yields [`Verdict::Unrecognized`].
+    pub fn decide(&self, detect: f64, margin: f64) -> Verdict {
+        debug_assert!((-1.0..=1.0).contains(&detect), "detect out of range: {detect}");
+        debug_assert!(margin >= 0.0, "negative margin: {margin}");
+        let pessimistic_good = detect - margin;
+        let pessimistic_bad = detect + margin;
+        if (self.gamma..=1.0).contains(&pessimistic_good) {
+            Verdict::WellBehaving
+        } else if (-1.0..=-self.gamma).contains(&pessimistic_bad) {
+            Verdict::Intruder
+        } else {
+            Verdict::Unrecognized
+        }
+    }
+}
+
+impl Default for DecisionRule {
+    /// `γ = 0.6`, the example threshold the paper's §V suggests
+    /// ("confirming (resp. denying) ... when the investigation result
+    /// exceeds for instance −0.6 (resp. 0.6)").
+    fn default() -> Self {
+        DecisionRule::new(0.6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_intruder() {
+        let rule = DecisionRule::default();
+        assert_eq!(rule.decide(-0.8, 0.1), Verdict::Intruder);
+        assert_eq!(rule.decide(-1.0, 0.0), Verdict::Intruder);
+        // Boundary: Detect + Ci exactly -γ.
+        assert_eq!(rule.decide(-0.7, 0.1), Verdict::Intruder);
+    }
+
+    #[test]
+    fn clear_well_behaving() {
+        let rule = DecisionRule::default();
+        assert_eq!(rule.decide(0.8, 0.1), Verdict::WellBehaving);
+        assert_eq!(rule.decide(1.0, 0.0), Verdict::WellBehaving);
+        assert_eq!(rule.decide(0.7, 0.1), Verdict::WellBehaving);
+    }
+
+    #[test]
+    fn wide_intervals_withhold_judgement() {
+        let rule = DecisionRule::default();
+        assert_eq!(rule.decide(-0.9, 0.5), Verdict::Unrecognized);
+        assert_eq!(rule.decide(0.9, 0.5), Verdict::Unrecognized);
+        assert_eq!(rule.decide(-0.9, f64::INFINITY), Verdict::Unrecognized);
+    }
+
+    #[test]
+    fn middle_ground_is_unrecognized() {
+        let rule = DecisionRule::default();
+        assert_eq!(rule.decide(0.0, 0.0), Verdict::Unrecognized);
+        assert_eq!(rule.decide(0.5, 0.0), Verdict::Unrecognized);
+        assert_eq!(rule.decide(-0.5, 0.0), Verdict::Unrecognized);
+    }
+
+    #[test]
+    fn trichotomy_is_total_and_exclusive() {
+        let rule = DecisionRule::new(0.6);
+        for i in -20..=20 {
+            for j in 0..=10 {
+                let detect = i as f64 / 20.0;
+                let margin = j as f64 / 10.0;
+                // decide() always returns exactly one verdict (no panic).
+                let v = rule.decide(detect, margin);
+                // The two decisive branches can never both hold: that would
+                // need detect-margin >= γ and detect+margin <= -γ, i.e.
+                // 2·detect <= -2γ + ... contradiction for γ>0, margin>=0.
+                if v == Verdict::WellBehaving {
+                    assert!(detect - margin >= 0.6);
+                }
+                if v == Verdict::Intruder {
+                    assert!(detect + margin <= -0.6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stricter_gamma_judges_less() {
+        let lenient = DecisionRule::new(0.5);
+        let strict = DecisionRule::new(0.9);
+        assert_eq!(lenient.decide(-0.7, 0.1), Verdict::Intruder);
+        assert_eq!(strict.decide(-0.7, 0.1), Verdict::Unrecognized);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn zero_gamma_rejected() {
+        let _ = DecisionRule::new(0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Verdict::Intruder.to_string(), "intruder");
+        assert_eq!(Verdict::WellBehaving.to_string(), "well-behaving");
+        assert_eq!(Verdict::Unrecognized.to_string(), "unrecognized");
+    }
+}

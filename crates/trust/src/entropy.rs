@@ -1,0 +1,150 @@
+//! The entropy-based trust mapping.
+//!
+//! The paper computes uncertainty with "the entropy, a measure of
+//! uncertainty stated in information theory" and cites the framework of
+//! Sun et al. (IEEE JSAC 2006). There, trust is a function of the
+//! probability `p` that a node behaves well:
+//!
+//! > `T = 1 − H(p)` for `p ≥ 0.5`, and `T = H(p) − 1` for `p < 0.5`,
+//!
+//! where `H` is the binary entropy. Complete certainty of good behaviour
+//! (`p = 1`) gives `T = +1`; complete certainty of misbehaviour (`p = 0`)
+//! gives `T = -1`; maximal uncertainty (`p = 0.5`) gives `T = 0`.
+
+use crate::value::TrustValue;
+
+/// Binary entropy `H(p) = -p·log2(p) - (1-p)·log2(1-p)`, with the
+/// convention `0·log2(0) = 0`.
+///
+/// # Panics
+///
+/// Panics unless `p ∈ [0, 1]`.
+///
+/// ```
+/// use trustlink_trust::entropy::binary_entropy;
+/// assert_eq!(binary_entropy(0.5), 1.0);
+/// assert_eq!(binary_entropy(0.0), 0.0);
+/// assert_eq!(binary_entropy(1.0), 0.0);
+/// ```
+pub fn binary_entropy(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    let term = |x: f64| if x <= 0.0 { 0.0 } else { -x * x.log2() };
+    term(p) + term(1.0 - p)
+}
+
+/// The entropy-based trust of a node whose probability of behaving well is
+/// `p` (Sun et al., as adopted by the paper's §IV).
+///
+/// Monotone increasing in `p`, antisymmetric around `p = 0.5`.
+///
+/// # Panics
+///
+/// Panics unless `p ∈ [0, 1]`.
+pub fn trust_from_probability(p: f64) -> TrustValue {
+    let h = binary_entropy(p);
+    if p >= 0.5 {
+        TrustValue::new(1.0 - h)
+    } else {
+        TrustValue::new(h - 1.0)
+    }
+}
+
+/// Inverse of [`trust_from_probability`]: the behaviour probability that
+/// yields trust `t`. Computed by bisection (the entropy map has no
+/// closed-form inverse); accurate to ~1e-12.
+pub fn probability_from_trust(t: TrustValue) -> f64 {
+    let target = t.get();
+    if target == 0.0 {
+        return 0.5;
+    }
+    // Search the monotone half [0.5, 1] for |t|, then mirror.
+    let want = target.abs();
+    let (mut lo, mut hi) = (0.5_f64, 1.0_f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let got = 1.0 - binary_entropy(mid);
+        if got < want {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let p = 0.5 * (lo + hi);
+    if target >= 0.0 {
+        p
+    } else {
+        1.0 - p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_endpoints_and_peak() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert_eq!(binary_entropy(0.5), 1.0);
+        assert!((binary_entropy(0.25) - 0.811278).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_is_symmetric() {
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            assert!((binary_entropy(p) - binary_entropy(1.0 - p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn entropy_rejects_out_of_range() {
+        let _ = binary_entropy(1.5);
+    }
+
+    #[test]
+    fn trust_endpoints() {
+        assert_eq!(trust_from_probability(1.0), TrustValue::MAX);
+        assert_eq!(trust_from_probability(0.0), TrustValue::MIN);
+        assert_eq!(trust_from_probability(0.5), TrustValue::ZERO);
+    }
+
+    #[test]
+    fn trust_is_monotone_in_probability() {
+        let mut prev = TrustValue::MIN;
+        for i in 0..=1000 {
+            let p = i as f64 / 1000.0;
+            let t = trust_from_probability(p);
+            assert!(t >= prev, "not monotone at p={p}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn trust_is_antisymmetric() {
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            let a = trust_from_probability(p).get();
+            let b = trust_from_probability(1.0 - p).get();
+            assert!((a + b).abs() < 1e-12, "not antisymmetric at p={p}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            let t = trust_from_probability(p);
+            let q = probability_from_trust(t);
+            assert!((p - q).abs() < 1e-9, "roundtrip failed at p={p}: got {q}");
+        }
+    }
+
+    #[test]
+    fn slight_majority_is_low_trust() {
+        // p = 0.6 is still very uncertain: trust must be well below 0.4.
+        let t = trust_from_probability(0.6);
+        assert!(t.get() > 0.0 && t.get() < 0.1, "t = {t}");
+    }
+}

@@ -1,0 +1,76 @@
+//! # trustlink-trust
+//!
+//! The entropy-based trust system of *"Trust-enabled Link Spoofing Detection
+//! in MANET"* (Alattar, Sailhan, Bourgeois — ICDCS WWASN 2012), as a pure,
+//! simulator-independent library.
+//!
+//! The paper secures a distributed intrusion detector with five pieces of
+//! mathematics, all implemented here:
+//!
+//! | Paper | Module | What it does |
+//! |-------|--------|--------------|
+//! | Formula (5) | [`update`] | evidence-weighted trust update with gravity factors `α` and forgetting factor `β` |
+//! | §IV entropy | [`entropy`] | the information-theoretic trust ↔ probability mapping of Sun et al. |
+//! | Formula (6) | [`propagation`] | concatenated trust propagation through a third party |
+//! | Formula (7) | [`propagation`] | multipath propagation over several recommenders |
+//! | Formula (8) | [`aggregate`] | trust-weighted aggregation of investigation answers into a detection value |
+//! | Formula (9) | [`confidence`] | confidence interval over partial evidence (probit, margin of error) |
+//! | Rule (10) | [`decision`] | the three-way verdict: well-behaving / intruder / unrecognized |
+//!
+//! [`store`] ties (5) into a per-neighbor bookkeeping structure with
+//! time-slot semantics, and [`value`] defines the bounded [`TrustValue`]
+//! domain and the evidence catalogue (Properties 1–5 of §IV-A).
+//!
+//! ## Example: one investigation round
+//!
+//! ```
+//! use trustlink_trust::prelude::*;
+//!
+//! // Three witnesses answer "is the link advertised by the suspect real?".
+//! // Two honest nodes deny it (-1); a liar confirms it (+1).
+//! let answers = [
+//!     (TrustValue::new(0.7), Answer::Deny),
+//!     (TrustValue::new(0.6), Answer::Deny),
+//!     (TrustValue::new(0.2), Answer::Confirm),
+//! ];
+//! let detect = detection_value(answers.iter().copied());
+//! assert!(detect < 0.0, "the spoofed link should look suspicious");
+//!
+//! // Margin of error over the raw answers at 95% confidence:
+//! let samples: Vec<f64> = answers.iter().map(|(_, a)| a.as_f64()).collect();
+//! let margin = margin_of_error(&samples, 0.95);
+//! let verdict = DecisionRule::default().decide(detect, margin);
+//! println!("detect={detect:.2} ± {margin:.2} → {verdict:?}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod confidence;
+pub mod decision;
+pub mod entropy;
+pub mod propagation;
+pub mod store;
+pub mod update;
+pub mod value;
+
+/// Glob-import of the commonly used types and functions.
+pub mod prelude {
+    pub use crate::aggregate::{detection_value, Answer};
+    pub use crate::confidence::{margin_of_error, probit, ConfidenceInterval};
+    pub use crate::decision::{DecisionRule, Verdict};
+    pub use crate::entropy::{binary_entropy, probability_from_trust, trust_from_probability};
+    pub use crate::propagation::{concatenated, multipath, Recommendation};
+    pub use crate::store::TrustStore;
+    pub use crate::update::TrustUpdate;
+    pub use crate::value::{EvidenceKind, GravityCatalogue, TrustValue};
+}
+
+pub use aggregate::{detection_value, Answer};
+pub use confidence::{margin_of_error, probit, ConfidenceInterval};
+pub use decision::{DecisionRule, Verdict};
+pub use propagation::Recommendation;
+pub use store::TrustStore;
+pub use update::TrustUpdate;
+pub use value::{EvidenceKind, GravityCatalogue, TrustValue};

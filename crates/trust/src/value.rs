@@ -1,0 +1,290 @@
+//! The trust domain and the evidence catalogue.
+//!
+//! §IV-A of the paper lists five properties a trust system must honour:
+//!
+//! 1. beneficial activity raises trust, harmful activity lowers it;
+//! 2. the *gravity* (or reputability) of an activity scales its effect;
+//! 3. imminent-intrusion risk drops trust drastically;
+//! 4. fresh activities outweigh stale ones;
+//! 5. first-hand evidence outweighs second-hand evidence.
+//!
+//! [`EvidenceKind`] + [`GravityCatalogue`] encode properties 1–3 and 5 (the
+//! per-kind `α` weights); property 4 is the forgetting factor `β` of
+//! [`crate::update::TrustUpdate`].
+
+use std::fmt;
+
+/// A trust value, clamped to `[-1, 1]`.
+///
+/// `+1` is complete trust, `-1` complete distrust, `0` maximal uncertainty
+/// (the entropy view of Sun et al.). The paper's figures use a *default
+/// initial trust* of `0.4` ([`TrustValue::DEFAULT`]).
+///
+/// ```
+/// use trustlink_trust::TrustValue;
+/// let t = TrustValue::new(1.7); // out-of-range inputs are clamped
+/// assert_eq!(t.get(), 1.0);
+/// assert!(TrustValue::DEFAULT > TrustValue::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct TrustValue(f64);
+
+impl TrustValue {
+    /// Complete distrust.
+    pub const MIN: TrustValue = TrustValue(-1.0);
+    /// Complete trust.
+    pub const MAX: TrustValue = TrustValue(1.0);
+    /// Total uncertainty.
+    pub const ZERO: TrustValue = TrustValue(0.0);
+    /// The paper's default initial trust (Figure 2 calls 0.4 "the default
+    /// (initial) trust value").
+    pub const DEFAULT: TrustValue = TrustValue(0.4);
+
+    /// Builds a trust value, clamping into `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "trust value must not be NaN");
+        TrustValue(v.clamp(-1.0, 1.0))
+    }
+
+    /// The raw value in `[-1, 1]`.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The value with negative trust floored to zero — the weight this node
+    /// deserves in trust-weighted votes (see [`crate::aggregate`]).
+    pub fn weight(self) -> f64 {
+        self.0.max(0.0)
+    }
+
+    /// `true` when strictly above the uncertainty point.
+    pub fn is_trusted(self) -> bool {
+        self.0 > 0.0
+    }
+}
+
+impl From<TrustValue> for f64 {
+    fn from(t: TrustValue) -> f64 {
+        t.get()
+    }
+}
+
+impl fmt::Display for TrustValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.3}", self.0)
+    }
+}
+
+/// The catalogue of observable activities that generate trust evidence
+/// (Property 1: each is beneficial, harmful or neutral).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvidenceKind {
+    /// The node relayed traffic normally during the slot (beneficial,
+    /// low-gravity — the everyday signal).
+    NormalRelaying,
+    /// The node answered an investigation and its answer agreed with the
+    /// final outcome (beneficial).
+    TruthfulTestimony,
+    /// The node answered an investigation and its answer contradicted the
+    /// final outcome — it lied or was badly mistaken (harmful; the paper's
+    /// *liars* accumulate these).
+    FalseTestimony,
+    /// The node dropped routing traffic it should have relayed (harmful).
+    DroppedTraffic,
+    /// The node forged routing information — e.g. a spoofed link confirmed
+    /// by investigation (harmful, maximal gravity: Property 3's imminent
+    /// risk).
+    ForgedRouting,
+    /// The node modified or replayed a message in transit (harmful).
+    MisrelayedRouting,
+    /// The node failed to answer an investigation before the timeout
+    /// (neutral: e = 0 in the paper, but recorded for bookkeeping).
+    Unresponsive,
+}
+
+impl EvidenceKind {
+    /// The sign `e ∈ {-1, 0, +1}` of the evidence (Property 1).
+    pub fn polarity(self) -> f64 {
+        match self {
+            EvidenceKind::NormalRelaying | EvidenceKind::TruthfulTestimony => 1.0,
+            EvidenceKind::Unresponsive => 0.0,
+            EvidenceKind::FalseTestimony
+            | EvidenceKind::DroppedTraffic
+            | EvidenceKind::ForgedRouting
+            | EvidenceKind::MisrelayedRouting => -1.0,
+        }
+    }
+
+    /// All catalogue entries, for iteration in tests and ablations.
+    pub const ALL: [EvidenceKind; 7] = [
+        EvidenceKind::NormalRelaying,
+        EvidenceKind::TruthfulTestimony,
+        EvidenceKind::FalseTestimony,
+        EvidenceKind::DroppedTraffic,
+        EvidenceKind::ForgedRouting,
+        EvidenceKind::MisrelayedRouting,
+        EvidenceKind::Unresponsive,
+    ];
+}
+
+/// The gravity weights `α_j` of formula (5): how strongly each evidence kind
+/// moves trust (Properties 2 and 3).
+///
+/// The defaults are calibrated so that, under the default forgetting
+/// factor `β = 0.9`:
+///
+/// * a node showing only [`EvidenceKind::NormalRelaying`] converges to
+///   exactly [`TrustValue::DEFAULT`]: the fixed point of `T ← βT + α` is
+///   `α/(1-β) = 0.04/0.1 = 0.4`;
+/// * a persistent liar (false testimony + background relaying each round)
+///   converges to `(-0.12 + 0.04)/0.1 = -0.8` over roughly ten rounds —
+///   the gradual monotone descent of the paper's Figure 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GravityCatalogue {
+    /// α for [`EvidenceKind::NormalRelaying`].
+    pub normal_relaying: f64,
+    /// α for [`EvidenceKind::TruthfulTestimony`].
+    pub truthful_testimony: f64,
+    /// α for [`EvidenceKind::FalseTestimony`].
+    pub false_testimony: f64,
+    /// α for [`EvidenceKind::DroppedTraffic`].
+    pub dropped_traffic: f64,
+    /// α for [`EvidenceKind::ForgedRouting`].
+    pub forged_routing: f64,
+    /// α for [`EvidenceKind::MisrelayedRouting`].
+    pub misrelayed_routing: f64,
+    /// α for [`EvidenceKind::Unresponsive`] (polarity 0, so this only
+    /// matters if a caller overrides polarities).
+    pub unresponsive: f64,
+}
+
+impl GravityCatalogue {
+    /// The gravity `α ≥ 0` assigned to `kind`.
+    pub fn alpha(&self, kind: EvidenceKind) -> f64 {
+        match kind {
+            EvidenceKind::NormalRelaying => self.normal_relaying,
+            EvidenceKind::TruthfulTestimony => self.truthful_testimony,
+            EvidenceKind::FalseTestimony => self.false_testimony,
+            EvidenceKind::DroppedTraffic => self.dropped_traffic,
+            EvidenceKind::ForgedRouting => self.forged_routing,
+            EvidenceKind::MisrelayedRouting => self.misrelayed_routing,
+            EvidenceKind::Unresponsive => self.unresponsive,
+        }
+    }
+
+    /// The signed contribution `α_j · e_j` of one evidence occurrence.
+    pub fn contribution(&self, kind: EvidenceKind) -> f64 {
+        self.alpha(kind) * kind.polarity()
+    }
+
+    /// A "flat" catalogue where every kind has the same gravity — the
+    /// ablation baseline for the paper's future-work item on differentiated
+    /// weighting.
+    pub fn flat(alpha: f64) -> Self {
+        GravityCatalogue {
+            normal_relaying: alpha,
+            truthful_testimony: alpha,
+            false_testimony: alpha,
+            dropped_traffic: alpha,
+            forged_routing: alpha,
+            misrelayed_routing: alpha,
+            unresponsive: alpha,
+        }
+    }
+}
+
+impl Default for GravityCatalogue {
+    fn default() -> Self {
+        GravityCatalogue {
+            normal_relaying: 0.04,
+            truthful_testimony: 0.08,
+            false_testimony: 0.12,
+            dropped_traffic: 0.20,
+            forged_routing: 0.50,
+            misrelayed_routing: 0.20,
+            unresponsive: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping() {
+        assert_eq!(TrustValue::new(2.0).get(), 1.0);
+        assert_eq!(TrustValue::new(-2.0).get(), -1.0);
+        assert_eq!(TrustValue::new(0.25).get(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = TrustValue::new(f64::NAN);
+    }
+
+    #[test]
+    fn weight_floors_negative_trust() {
+        assert_eq!(TrustValue::new(-0.5).weight(), 0.0);
+        assert_eq!(TrustValue::new(0.5).weight(), 0.5);
+    }
+
+    #[test]
+    fn polarity_signs_match_property_one() {
+        assert_eq!(EvidenceKind::NormalRelaying.polarity(), 1.0);
+        assert_eq!(EvidenceKind::TruthfulTestimony.polarity(), 1.0);
+        assert_eq!(EvidenceKind::FalseTestimony.polarity(), -1.0);
+        assert_eq!(EvidenceKind::ForgedRouting.polarity(), -1.0);
+        assert_eq!(EvidenceKind::DroppedTraffic.polarity(), -1.0);
+        assert_eq!(EvidenceKind::MisrelayedRouting.polarity(), -1.0);
+        assert_eq!(EvidenceKind::Unresponsive.polarity(), 0.0);
+    }
+
+    #[test]
+    fn default_gravities_rank_by_severity() {
+        // Property 2/3: forging (imminent intrusion) must be the gravest;
+        // background relaying the lightest of the non-zero weights.
+        let g = GravityCatalogue::default();
+        assert!(g.forged_routing > g.false_testimony);
+        assert!(g.false_testimony > g.truthful_testimony);
+        assert!(g.truthful_testimony > g.normal_relaying);
+        for kind in EvidenceKind::ALL {
+            assert!(g.alpha(kind) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn default_steady_state_is_default_trust() {
+        // α_relay / (1 - β) with β = 0.9 must equal the default trust 0.4.
+        let g = GravityCatalogue::default();
+        let fixed_point = g.normal_relaying / (1.0 - 0.9);
+        assert!((fixed_point - TrustValue::DEFAULT.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contribution_is_signed() {
+        let g = GravityCatalogue::default();
+        assert!(g.contribution(EvidenceKind::NormalRelaying) > 0.0);
+        assert!(g.contribution(EvidenceKind::ForgedRouting) < 0.0);
+        assert_eq!(g.contribution(EvidenceKind::Unresponsive), 0.0);
+    }
+
+    #[test]
+    fn flat_catalogue_is_uniform() {
+        let g = GravityCatalogue::flat(0.1);
+        for kind in EvidenceKind::ALL {
+            assert_eq!(g.alpha(kind), 0.1);
+        }
+    }
+
+    #[test]
+    fn display_has_sign() {
+        assert_eq!(TrustValue::new(0.4).to_string(), "+0.400");
+        assert_eq!(TrustValue::new(-0.25).to_string(), "-0.250");
+    }
+}

@@ -1,0 +1,298 @@
+//! Property-based tests for the trust mathematics.
+//!
+//! These pin down the invariants the paper's formulas must satisfy for the
+//! detection system to be sound, independent of any particular scenario.
+
+use proptest::prelude::*;
+
+use trustlink_trust::aggregate::unweighted_detection_value;
+use trustlink_trust::confidence::{sample_std_dev, z_for_confidence_level};
+use trustlink_trust::entropy::{binary_entropy, probability_from_trust, trust_from_probability};
+use trustlink_trust::prelude::*;
+
+fn trust_value() -> impl Strategy<Value = TrustValue> {
+    (-1.0f64..=1.0).prop_map(TrustValue::new)
+}
+
+fn answer() -> impl Strategy<Value = Answer> {
+    prop_oneof![Just(Answer::Confirm), Just(Answer::Deny), Just(Answer::NoAnswer)]
+}
+
+fn evidence_kind() -> impl Strategy<Value = EvidenceKind> {
+    prop_oneof![
+        Just(EvidenceKind::NormalRelaying),
+        Just(EvidenceKind::TruthfulTestimony),
+        Just(EvidenceKind::FalseTestimony),
+        Just(EvidenceKind::DroppedTraffic),
+        Just(EvidenceKind::ForgedRouting),
+        Just(EvidenceKind::MisrelayedRouting),
+        Just(EvidenceKind::Unresponsive),
+    ]
+}
+
+proptest! {
+    // ---- trust domain -------------------------------------------------
+
+    #[test]
+    fn trust_new_always_in_domain(v in -1e6f64..1e6) {
+        let t = TrustValue::new(v);
+        prop_assert!((-1.0..=1.0).contains(&t.get()));
+    }
+
+    #[test]
+    fn trust_weight_nonnegative(t in trust_value()) {
+        prop_assert!(t.weight() >= 0.0);
+        prop_assert!(t.weight() <= 1.0);
+    }
+
+    // ---- formula (5) ---------------------------------------------------
+
+    #[test]
+    fn update_stays_in_domain(
+        beta in 0.0f64..0.999,
+        start in trust_value(),
+        evidences in proptest::collection::vec(evidence_kind(), 0..20),
+    ) {
+        let up = TrustUpdate::new(beta);
+        let t = up.step(start, &evidences);
+        prop_assert!((-1.0..=1.0).contains(&t.get()));
+    }
+
+    #[test]
+    fn harmful_evidence_never_raises_trust(
+        start in trust_value(),
+        n in 1usize..10,
+    ) {
+        let up = TrustUpdate::default();
+        let evidences = vec![EvidenceKind::FalseTestimony; n];
+        let t = up.step(start, &evidences);
+        // β < 1 shrinks positive trust; harmful evidence subtracts more.
+        prop_assert!(t.get() <= start.get().max(0.0));
+    }
+
+    #[test]
+    fn beneficial_evidence_never_lowers_trust_below_decay(
+        start in trust_value(),
+        n in 1usize..10,
+    ) {
+        let up = TrustUpdate::default();
+        let evidences = vec![EvidenceKind::TruthfulTestimony; n];
+        let with = up.step(start, &evidences).get();
+        let without = up.step(start, &[]).get();
+        prop_assert!(with >= without);
+    }
+
+    #[test]
+    fn more_lies_hurt_more(start in trust_value(), n in 1usize..8) {
+        let up = TrustUpdate::default();
+        let few = up.step(start, &vec![EvidenceKind::FalseTestimony; n]);
+        let more = up.step(start, &vec![EvidenceKind::FalseTestimony; n + 1]);
+        prop_assert!(more <= few);
+    }
+
+    // ---- entropy mapping ----------------------------------------------
+
+    #[test]
+    fn entropy_bounded(p in 0.0f64..=1.0) {
+        let h = binary_entropy(p);
+        prop_assert!((0.0..=1.0).contains(&h));
+    }
+
+    #[test]
+    fn entropy_trust_roundtrip(p in 0.0f64..=1.0) {
+        let t = trust_from_probability(p);
+        prop_assert!((-1.0..=1.0).contains(&t.get()));
+        let q = probability_from_trust(t);
+        prop_assert!((p - q).abs() < 1e-8, "p={} roundtripped to {}", p, q);
+    }
+
+    #[test]
+    fn entropy_trust_monotone(p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(trust_from_probability(lo) <= trust_from_probability(hi));
+    }
+
+    // ---- propagation (6), (7) -----------------------------------------
+
+    #[test]
+    fn concatenated_bounded_and_discounting(
+        r in 0.0f64..=1.0,
+        t in trust_value(),
+    ) {
+        let out = concatenated(Recommendation::new(r), t);
+        prop_assert!(out.get().abs() <= t.get().abs() + 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&out.get()));
+    }
+
+    #[test]
+    fn multipath_bounded_by_extremes(
+        recs in proptest::collection::vec((0.0f64..=1.0, -1.0f64..=1.0), 0..12),
+    ) {
+        let pairs: Vec<(Recommendation, TrustValue)> = recs
+            .iter()
+            .map(|&(r, t)| (Recommendation::new(r), TrustValue::new(t)))
+            .collect();
+        let out = multipath(pairs.clone()).get();
+        prop_assert!((-1.0..=1.0).contains(&out));
+        // Weighted average over inputs with positive mass stays within their range.
+        let used: Vec<f64> = pairs
+            .iter()
+            .filter(|(r, _)| r.get() > 0.0)
+            .map(|(_, t)| t.get())
+            .collect();
+        if !used.is_empty() {
+            let lo = used.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = used.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(out >= lo - 1e-9 && out <= hi + 1e-9);
+        } else {
+            prop_assert_eq!(out, 0.0);
+        }
+    }
+
+    // ---- aggregation (8) ------------------------------------------------
+
+    #[test]
+    fn detection_value_bounded(
+        answers in proptest::collection::vec((-1.0f64..=1.0, answer()), 0..16),
+    ) {
+        let d = detection_value(
+            answers.iter().map(|&(t, a)| (TrustValue::new(t), a)),
+        );
+        prop_assert!((-1.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn detection_ignores_distrusted(
+        base in proptest::collection::vec((0.1f64..=1.0, answer()), 1..8),
+        noise in proptest::collection::vec((-1.0f64..=-0.01, answer()), 0..8),
+    ) {
+        let with_noise: Vec<(TrustValue, Answer)> = base
+            .iter()
+            .map(|&(t, a)| (TrustValue::new(t), a))
+            .chain(noise.iter().map(|&(t, a)| (TrustValue::new(t), a)))
+            .collect();
+        let without: Vec<(TrustValue, Answer)> =
+            base.iter().map(|&(t, a)| (TrustValue::new(t), a)).collect();
+        let d1 = detection_value(with_noise);
+        let d2 = detection_value(without);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unweighted_matches_weighted_at_equal_trust(
+        answers in proptest::collection::vec(answer(), 1..16),
+        t in 0.1f64..=1.0,
+    ) {
+        let weighted = detection_value(
+            answers.iter().map(|&a| (TrustValue::new(t), a)),
+        );
+        let unweighted = unweighted_detection_value(answers.iter().copied());
+        prop_assert!((weighted - unweighted).abs() < 1e-9);
+    }
+
+    // ---- confidence (9) -------------------------------------------------
+
+    #[test]
+    fn margin_nonnegative(
+        samples in proptest::collection::vec(-1.0f64..=1.0, 0..32),
+        cl in 0.5f64..0.999,
+    ) {
+        let m = margin_of_error(&samples, cl);
+        prop_assert!(m >= 0.0);
+    }
+
+    #[test]
+    fn margin_monotone_in_confidence_level(
+        samples in proptest::collection::vec(-1.0f64..=1.0, 3..32),
+        cl1 in 0.5f64..0.99,
+        delta in 0.001f64..0.009,
+    ) {
+        let m1 = margin_of_error(&samples, cl1);
+        let m2 = margin_of_error(&samples, cl1 + delta);
+        prop_assert!(m2 >= m1 - 1e-12);
+    }
+
+    #[test]
+    fn margin_shrinks_as_identical_data_grows(
+        block in proptest::collection::vec(-1.0f64..=1.0, 2..8),
+        reps in 2usize..6,
+    ) {
+        let small: Vec<f64> = block.clone();
+        let large: Vec<f64> = block
+            .iter()
+            .cycle()
+            .take(block.len() * reps)
+            .copied()
+            .collect();
+        // Repeating the same data leaves σ (nearly) unchanged but grows n.
+        let m_small = margin_of_error(&small, 0.95);
+        let m_large = margin_of_error(&large, 0.95);
+        prop_assert!(m_large <= m_small + 1e-9);
+    }
+
+    #[test]
+    fn std_dev_nonnegative(samples in proptest::collection::vec(-10.0f64..=10.0, 0..64)) {
+        prop_assert!(sample_std_dev(&samples) >= 0.0);
+    }
+
+    #[test]
+    fn z_positive_above_half(cl in 0.01f64..0.999) {
+        prop_assert!(z_for_confidence_level(cl) > 0.0 || cl < 0.02);
+    }
+
+    // ---- decision (10) ---------------------------------------------------
+
+    #[test]
+    fn decision_total_and_exclusive(
+        detect in -1.0f64..=1.0,
+        margin in 0.0f64..=2.0,
+        gamma in 0.01f64..=1.0,
+    ) {
+        let rule = DecisionRule::new(gamma);
+        match rule.decide(detect, margin) {
+            Verdict::WellBehaving => prop_assert!(detect - margin >= gamma - 1e-12),
+            Verdict::Intruder => prop_assert!(detect + margin <= -gamma + 1e-12),
+            Verdict::Unrecognized => {
+                prop_assert!(detect - margin < gamma || detect + margin > -gamma);
+            }
+        }
+    }
+
+    #[test]
+    fn widening_the_interval_never_creates_judgement(
+        detect in -1.0f64..=1.0,
+        margin in 0.0f64..=1.0,
+        extra in 0.0f64..=1.0,
+    ) {
+        let rule = DecisionRule::default();
+        let narrow = rule.decide(detect, margin);
+        let wide = rule.decide(detect, margin + extra);
+        // A wider interval can only move toward Unrecognized.
+        if narrow == Verdict::Unrecognized {
+            prop_assert_eq!(wide, Verdict::Unrecognized);
+        }
+    }
+
+    // ---- store ----------------------------------------------------------
+
+    #[test]
+    fn store_trust_always_in_domain(
+        seed_trust in proptest::collection::vec((0u32..8, -1.0f64..=1.0), 0..8),
+        events in proptest::collection::vec((0u32..8, evidence_kind()), 0..64),
+    ) {
+        let mut store: TrustStore<u32> = TrustStore::new(TrustValue::DEFAULT);
+        for (k, t) in seed_trust {
+            store.set_trust(k, TrustValue::new(t));
+        }
+        for (i, (k, e)) in events.iter().enumerate() {
+            store.record(*k, *e);
+            if i % 5 == 4 {
+                store.end_slot();
+            }
+        }
+        store.end_slot();
+        for (_, t) in store.peers() {
+            prop_assert!((-1.0..=1.0).contains(&t.get()));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Renders the paper's Figures 1 and 2 as ASCII charts: trust trajectories
+//! under attack, and relaxation toward the default trust once the attack
+//! ceases.
+//!
+//! Run with: `cargo run --example trust_dynamics`
+
+use trustlink_core::chart;
+use trustlink_core::prelude::*;
+
+fn main() {
+    // Figure 1: 25 rounds of active attack. To keep the chart legible we
+    // plot a representative subset: two liars and two honest witnesses with
+    // contrasting initial trust.
+    let cfg = RoundConfig {
+        initial_trust: InitialTrust::PerNode(vec![
+            0.85, 0.25, // liars (high and low initial trust)
+            0.55, 0.4, // more liars (defaults: first n_liars indices lie)
+            0.8, 0.15, 0.6, 0.3, 0.7, 0.45, 0.5, 0.35, 0.65, 0.2, // honest
+        ]),
+        ..RoundConfig::default()
+    };
+    let full = fig1_trustworthiness(cfg.clone(), 25);
+    let picks = [0usize, 1, 4, 5];
+    let fig1 = Figure {
+        title: full.title.clone(),
+        x_label: full.x_label.clone(),
+        y_label: full.y_label.clone(),
+        series: picks.iter().map(|&i| full.series[i].clone()).collect(),
+    };
+    println!("{}", chart::render(&fig1, 64, 18));
+
+    // Figure 2: the attack has ceased; everyone behaves well and the
+    // forgetting factor pulls trust toward the default 0.4. Former liars
+    // start deep in negative territory and climb back slowly.
+    let cfg2 = RoundConfig {
+        initial_trust: InitialTrust::PerNode(vec![
+            -0.8, -0.4, // former liars, already punished
+            0.2, 0.1, // more former liars
+            0.9, 0.65, 0.15, 0.4, 0.75, 0.55, 0.3, 0.85, 0.5, 0.25, // honest
+        ]),
+        ..RoundConfig::default()
+    };
+    let full2 = fig2_forgetting(cfg2, 40);
+    let picks2 = [0usize, 2, 4, 6];
+    let fig2 = Figure {
+        title: full2.title.clone(),
+        x_label: full2.x_label.clone(),
+        y_label: full2.y_label.clone(),
+        series: picks2.iter().map(|&i| full2.series[i].clone()).collect(),
+    };
+    println!("{}", chart::render(&fig2, 64, 18));
+
+    println!("Note the defensive asymmetry: decay from above reaches 0.4 within");
+    println!("the horizon, while recovery from a negative value takes far longer —");
+    println!("\"recovering from a negative trustworthiness requires that the node");
+    println!("well-behave for long time\" (paper, §VII).");
+}

@@ -1,0 +1,211 @@
+//! Cross-crate property tests: the log pipeline (render → parse → extract)
+//! and the wire pipeline (encode → decode) under adversarial inputs.
+
+use proptest::prelude::*;
+
+use trustlink_olsr::logging::{parse_line, LogRecord, MessageKind, SuppressReason};
+use trustlink_olsr::message::{
+    HelloMessage, LinkCode, LinkGroup, LinkType, Message, MessageBody, NeighborType, Packet,
+    TcMessage,
+};
+use trustlink_olsr::types::{SequenceNumber, Willingness};
+use trustlink_olsr::wire::{decode_packet, encode_packet};
+use trustlink_sim::{NodeId, SimDuration, SimTime};
+
+fn node_id() -> impl Strategy<Value = NodeId> {
+    (0u16..1000).prop_map(NodeId)
+}
+
+fn node_list() -> impl Strategy<Value = Vec<NodeId>> {
+    proptest::collection::vec(node_id(), 0..8)
+}
+
+fn willingness() -> impl Strategy<Value = Willingness> {
+    prop_oneof![
+        Just(Willingness::Never),
+        Just(Willingness::Low),
+        Just(Willingness::Default),
+        Just(Willingness::High),
+        Just(Willingness::Always),
+    ]
+}
+
+fn message_kind() -> impl Strategy<Value = MessageKind> {
+    prop_oneof![
+        Just(MessageKind::Hello),
+        Just(MessageKind::Tc),
+        Just(MessageKind::Mid),
+        Just(MessageKind::Hna),
+        Just(MessageKind::Data),
+    ]
+}
+
+fn suppress_reason() -> impl Strategy<Value = SuppressReason> {
+    prop_oneof![
+        Just(SuppressReason::Duplicate),
+        Just(SuppressReason::NotMprSelector),
+        Just(SuppressReason::TtlExpired),
+        Just(SuppressReason::UnknownSender),
+    ]
+}
+
+fn log_record() -> impl Strategy<Value = LogRecord> {
+    prop_oneof![
+        (node_id(), willingness(), node_list(), node_list()).prop_map(
+            |(from, willingness, sym, asym)| LogRecord::HelloRx { from, willingness, sym, asym }
+        ),
+        (node_id(), node_id(), any::<u16>(), node_list()).prop_map(
+            |(originator, sender, ansn, advertised)| LogRecord::TcRx {
+                originator,
+                sender,
+                ansn,
+                advertised
+            }
+        ),
+        (node_id(), node_list())
+            .prop_map(|(originator, aliases)| LogRecord::MidRx { originator, aliases }),
+        node_id().prop_map(|neighbor| LogRecord::LinkSymmetric { neighbor }),
+        node_id().prop_map(|addr| LogRecord::NeighborAdded { addr }),
+        node_id().prop_map(|addr| LogRecord::NeighborLost { addr }),
+        (node_id(), node_id()).prop_map(|(via, addr)| LogRecord::TwoHopAdded { via, addr }),
+        node_list().prop_map(|mprs| LogRecord::MprSet { mprs }),
+        (node_id(), node_id(), any::<u32>()).prop_map(|(dest, next_hop, hops)| {
+            LogRecord::RouteAdded { dest, next_hop, hops }
+        }),
+        (node_id(), message_kind(), any::<u16>(), node_id()).prop_map(
+            |(originator, kind, seq, from)| LogRecord::Forwarded { originator, kind, seq, from }
+        ),
+        (node_id(), message_kind(), any::<u16>(), suppress_reason()).prop_map(
+            |(originator, kind, seq, reason)| LogRecord::ForwardSuppressed {
+                originator,
+                kind,
+                seq,
+                reason
+            }
+        ),
+        node_id().prop_map(|dst| LogRecord::DataNoRoute { dst }),
+    ]
+}
+
+fn hello_body() -> impl Strategy<Value = HelloMessage> {
+    (
+        willingness(),
+        proptest::collection::vec(
+            ((0u8..4), (0u8..3), proptest::collection::vec(node_id(), 0..5)),
+            0..4,
+        ),
+    )
+        .prop_map(|(willingness, raw_groups)| HelloMessage {
+            willingness,
+            groups: raw_groups
+                .into_iter()
+                .map(|(lt, nt, addrs)| LinkGroup {
+                    code: LinkCode::new(
+                        LinkType::from_bits(lt),
+                        NeighborType::from_bits(nt),
+                    ),
+                    addrs,
+                })
+                .collect(),
+        })
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (
+        node_id(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u16>(),
+        prop_oneof![
+            hello_body().prop_map(MessageBody::Hello),
+            (any::<u16>(), node_list())
+                .prop_map(|(ansn, advertised)| MessageBody::Tc(TcMessage { ansn, advertised })),
+        ],
+    )
+        .prop_map(|(originator, ttl, hop_count, seq, body)| Message {
+            vtime: SimDuration::from_secs(6),
+            originator,
+            ttl,
+            hop_count,
+            seq: SequenceNumber(seq),
+            body,
+        })
+}
+
+proptest! {
+    #[test]
+    fn log_render_parse_roundtrip(record in log_record()) {
+        let line = record.to_line();
+        let parsed = parse_line(&line)
+            .unwrap_or_else(|e| panic!("unparseable `{line}`: {e}"));
+        prop_assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn extractor_never_panics_on_valid_records(
+        records in proptest::collection::vec(log_record(), 0..64),
+    ) {
+        let mut extractor = trustlink_ids::EventExtractor::new();
+        for (i, r) in records.iter().enumerate() {
+            let _ = extractor.ingest(SimTime::from_secs(i as u64), r);
+        }
+        let _ = extractor.tick(SimTime::from_secs(1000), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn wire_roundtrip(messages in proptest::collection::vec(message(), 0..5), seq in any::<u16>()) {
+        let packet = Packet { seq: SequenceNumber(seq), messages };
+        let decoded = decode_packet(encode_packet(&packet)).expect("decode own encoding");
+        // vtime is lossy; compare everything else.
+        prop_assert_eq!(decoded.seq, packet.seq);
+        prop_assert_eq!(decoded.messages.len(), packet.messages.len());
+        for (d, o) in decoded.messages.iter().zip(&packet.messages) {
+            prop_assert_eq!(d.originator, o.originator);
+            prop_assert_eq!(d.ttl, o.ttl);
+            prop_assert_eq!(d.hop_count, o.hop_count);
+            prop_assert_eq!(d.seq, o.seq);
+            prop_assert_eq!(&d.body, &o.body);
+        }
+    }
+
+    #[test]
+    fn wire_decoder_total_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must never panic, whatever the input.
+        let _ = decode_packet(bytes::Bytes::from(bytes));
+    }
+
+    #[test]
+    fn signature_engine_never_panics(
+        suspects in proptest::collection::vec(0u16..8, 0..64),
+        kinds in proptest::collection::vec(0u8..4, 0..64),
+    ) {
+        use trustlink_ids::events::{DetectionEvent, MisbehaviourReason};
+        use trustlink_ids::SignatureEngine;
+        let mut engine = SignatureEngine::with_builtin(SimDuration::from_secs(30));
+        for (i, (&s, &k)) in suspects.iter().zip(kinds.iter()).enumerate() {
+            let at = SimTime::from_secs(i as u64);
+            let suspect = NodeId(s);
+            let ev = match k {
+                0 => DetectionEvent::MprReplaced {
+                    replaced: vec![NodeId(99)],
+                    replacing: vec![suspect],
+                    at,
+                },
+                1 => DetectionEvent::MprMisbehaving {
+                    mpr: suspect,
+                    reason: MisbehaviourReason::TcSilence,
+                    at,
+                },
+                2 => DetectionEvent::NotCovering { mpr: suspect, neighbor: NodeId(7), at },
+                _ => DetectionEvent::CoveringNonNeighbor {
+                    mpr: suspect,
+                    claimed: NodeId(9),
+                    at,
+                },
+            };
+            for m in engine.observe(&ev) {
+                prop_assert_eq!(m.suspect, suspect);
+            }
+        }
+    }
+}
