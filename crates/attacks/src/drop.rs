@@ -51,10 +51,7 @@ impl DropAttack {
     /// Builds a drop attack; `seed` makes gray-hole decisions reproducible.
     pub fn new(mode: DropMode, scope: DropScope, seed: u64) -> Self {
         if let DropMode::GrayHole { probability } = &mode {
-            assert!(
-                (0.0..=1.0).contains(probability),
-                "drop probability must be in [0,1]"
-            );
+            assert!((0.0..=1.0).contains(probability), "drop probability must be in [0,1]");
         }
         DropAttack { mode, scope, rng: StdRng::seed_from_u64(seed), dropped: 0 }
     }
@@ -146,9 +143,8 @@ mod tests {
     fn gray_hole_drops_fractionally() {
         let mut attack =
             DropAttack::new(DropMode::GrayHole { probability: 0.5 }, DropScope::All, 42);
-        let forwarded = (0..10_000)
-            .filter(|_| attack.should_forward(&dummy_msg(), NodeId(0)))
-            .count();
+        let forwarded =
+            (0..10_000).filter(|_| attack.should_forward(&dummy_msg(), NodeId(0))).count();
         assert!((4300..=5700).contains(&forwarded), "forwarded={forwarded}");
     }
 

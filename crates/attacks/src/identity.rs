@@ -116,10 +116,8 @@ mod tests {
     #[test]
     fn observer_attributes_forged_hellos_to_victim() {
         let mut sim = SimulatorBuilder::new(41).radio(RadioConfig::unit_disk(200.0)).build();
-        let observer = sim.add_node(
-            Box::new(OlsrNode::new(OlsrConfig::fast())),
-            Position::new(0.0, 0.0),
-        );
+        let observer =
+            sim.add_node(Box::new(OlsrNode::new(OlsrConfig::fast())), Position::new(0.0, 0.0));
         let _spoofer = sim.add_node(
             Box::new(IdentitySpoofer::new(
                 OlsrConfig::fast(),
@@ -130,11 +128,8 @@ mod tests {
             Position::new(100.0, 0.0),
         );
         sim.run_for(SimDuration::from_secs(5));
-        let forged_seen = sim
-            .log(observer)
-            .lines()
-            .filter(|l| l.starts_with("HELLO_RX from=N42"))
-            .count();
+        let forged_seen =
+            sim.log(observer).lines().filter(|l| l.starts_with("HELLO_RX from=N42")).count();
         assert!(forged_seen >= 5, "observer saw only {forged_seen} forged HELLOs");
         // The phantom neighborhood contaminated the observer's 2-hop view.
         let obs = sim.app_as::<OlsrNode>(observer).unwrap();

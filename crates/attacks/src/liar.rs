@@ -12,9 +12,10 @@ use rand::RngExt;
 use trustlink_sim::NodeId;
 
 /// How a node answers link-verification requests.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum LiarPolicy {
     /// Always answer truthfully (the default).
+    #[default]
     Honest,
     /// Invert every answer.
     AlwaysLie,
@@ -30,12 +31,6 @@ pub enum LiarPolicy {
         /// Probability of lying in `[0, 1]`.
         probability: f64,
     },
-}
-
-impl Default for LiarPolicy {
-    fn default() -> Self {
-        LiarPolicy::Honest
-    }
 }
 
 impl LiarPolicy {
@@ -59,10 +54,7 @@ impl LiarPolicy {
                 }
             }
             LiarPolicy::Probabilistic { probability } => {
-                assert!(
-                    (0.0..=1.0).contains(probability),
-                    "lie probability must be in [0,1]"
-                );
+                assert!((0.0..=1.0).contains(probability), "lie probability must be in [0,1]");
                 if rng.random_bool(*probability) {
                     !truthful
                 } else {
@@ -94,10 +86,7 @@ impl LiarPolicy {
                 }
             }
             LiarPolicy::Probabilistic { probability } => {
-                assert!(
-                    (0.0..=1.0).contains(probability),
-                    "lie probability must be in [0,1]"
-                );
+                assert!((0.0..=1.0).contains(probability), "lie probability must be in [0,1]");
                 if rng.random_bool(*probability) {
                     Some(!truthful.unwrap_or(false))
                 } else {
@@ -155,9 +144,7 @@ mod tests {
     fn probabilistic_lies_at_rate() {
         let policy = LiarPolicy::Probabilistic { probability: 0.25 };
         let mut r = rng();
-        let lies = (0..10_000)
-            .filter(|_| !policy.answer(true, NodeId(1), &mut r))
-            .count();
+        let lies = (0..10_000).filter(|_| !policy.answer(true, NodeId(1), &mut r)).count();
         assert!((2200..=2800).contains(&lies), "lies={lies}");
     }
 

@@ -93,10 +93,7 @@ mod tests {
     #[test]
     fn replays_heard_traffic_after_delay() {
         let mut sim = SimulatorBuilder::new(21).radio(RadioConfig::unit_disk(200.0)).build();
-        let _a = sim.add_node(
-            Box::new(OlsrNode::new(OlsrConfig::fast())),
-            Position::new(0.0, 0.0),
-        );
+        let _a = sim.add_node(Box::new(OlsrNode::new(OlsrConfig::fast())), Position::new(0.0, 0.0));
         let attacker = sim.add_node(
             Box::new(ReplayAttacker::new(OlsrConfig::fast(), SimDuration::from_secs(2), 64)),
             Position::new(100.0, 0.0),
@@ -113,10 +110,7 @@ mod tests {
     #[test]
     fn capacity_bounds_memory() {
         let mut sim = SimulatorBuilder::new(22).radio(RadioConfig::unit_disk(200.0)).build();
-        let _a = sim.add_node(
-            Box::new(OlsrNode::new(OlsrConfig::fast())),
-            Position::new(0.0, 0.0),
-        );
+        let _a = sim.add_node(Box::new(OlsrNode::new(OlsrConfig::fast())), Position::new(0.0, 0.0));
         // Tiny capacity with a huge delay: held never exceeds 2.
         let attacker = sim.add_node(
             Box::new(ReplayAttacker::new(OlsrConfig::fast(), SimDuration::from_secs(500), 2)),

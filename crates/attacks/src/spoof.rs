@@ -116,15 +116,11 @@ mod tests {
 
     #[test]
     fn advertise_non_existent_adds_phantom() {
-        let mut hooks = LinkSpoofing::permanent(SpoofVariant::AdvertiseNonExistent {
-            fake: vec![NodeId(99)],
-        });
+        let mut hooks =
+            LinkSpoofing::permanent(SpoofVariant::AdvertiseNonExistent { fake: vec![NodeId(99)] });
         let mut hello = hello_with(&[1, 2]);
         hooks.on_hello_tx(&mut hello, SimTime::from_secs(1));
-        assert_eq!(
-            hello.symmetric_neighbors(),
-            vec![NodeId(1), NodeId(2), NodeId(99)]
-        );
+        assert_eq!(hello.symmetric_neighbors(), vec![NodeId(1), NodeId(2), NodeId(99)]);
     }
 
     #[test]
@@ -135,19 +131,15 @@ mod tests {
         let mut hello = hello_with(&[1, 2]);
         hooks.on_hello_tx(&mut hello, SimTime::from_secs(1));
         // N1 was already real; only N5 gets forged in.
-        assert_eq!(
-            hello.symmetric_neighbors(),
-            vec![NodeId(1), NodeId(2), NodeId(5)]
-        );
+        assert_eq!(hello.symmetric_neighbors(), vec![NodeId(1), NodeId(2), NodeId(5)]);
         assert_eq!(hello.groups.len(), 2);
         assert_eq!(hello.groups[1].addrs, vec![NodeId(5)]);
     }
 
     #[test]
     fn omit_erases_neighbor_everywhere() {
-        let mut hooks = LinkSpoofing::permanent(SpoofVariant::OmitNeighbors {
-            omitted: vec![NodeId(2)],
-        });
+        let mut hooks =
+            LinkSpoofing::permanent(SpoofVariant::OmitNeighbors { omitted: vec![NodeId(2)] });
         let mut hello = hello_with(&[1, 2]);
         hooks.on_hello_tx(&mut hello, SimTime::from_secs(1));
         assert_eq!(hello.symmetric_neighbors(), vec![NodeId(1)]);
@@ -182,13 +174,9 @@ mod tests {
     fn spoofed_hello_end_to_end() {
         // The attacker's forged neighbor propagates into a victim's 2-hop set.
         use trustlink_sim::prelude::*;
-        let mut sim = SimulatorBuilder::new(3)
-            .radio(RadioConfig::unit_disk(150.0))
-            .build();
-        let _victim = sim.add_node(
-            Box::new(OlsrNode::new(OlsrConfig::fast())),
-            Position::new(0.0, 0.0),
-        );
+        let mut sim = SimulatorBuilder::new(3).radio(RadioConfig::unit_disk(150.0)).build();
+        let _victim =
+            sim.add_node(Box::new(OlsrNode::new(OlsrConfig::fast())), Position::new(0.0, 0.0));
         let attacker = sim.add_node(
             Box::new(link_spoofing_node(
                 OlsrConfig::fast(),

@@ -121,10 +121,8 @@ mod tests {
     #[test]
     fn storm_floods_the_channel() {
         let mut sim = SimulatorBuilder::new(9).radio(RadioConfig::unit_disk(200.0)).build();
-        let victim = sim.add_node(
-            Box::new(OlsrNode::new(OlsrConfig::fast())),
-            Position::new(0.0, 0.0),
-        );
+        let victim =
+            sim.add_node(Box::new(OlsrNode::new(OlsrConfig::fast())), Position::new(0.0, 0.0));
         let attacker = sim.add_node(
             Box::new(BroadcastStorm::new(
                 OlsrConfig::fast(),
@@ -146,10 +144,8 @@ mod tests {
     #[test]
     fn masquerade_spoofs_originator() {
         let mut sim = SimulatorBuilder::new(10).radio(RadioConfig::unit_disk(200.0)).build();
-        let observer = sim.add_node(
-            Box::new(OlsrNode::new(OlsrConfig::fast())),
-            Position::new(0.0, 0.0),
-        );
+        let observer =
+            sim.add_node(Box::new(OlsrNode::new(OlsrConfig::fast())), Position::new(0.0, 0.0));
         let _attacker = sim.add_node(
             Box::new(BroadcastStorm::new(
                 OlsrConfig::fast(),
@@ -161,11 +157,7 @@ mod tests {
         );
         sim.run_for(SimDuration::from_secs(5));
         // The observer's log attributes the forged TCs to N42.
-        let spoofed = sim
-            .log(observer)
-            .lines()
-            .filter(|l| l.starts_with("TC_RX orig=N42"))
-            .count();
+        let spoofed = sim.log(observer).lines().filter(|l| l.starts_with("TC_RX orig=N42")).count();
         assert!(spoofed > 10, "only {spoofed} spoofed TCs observed");
     }
 

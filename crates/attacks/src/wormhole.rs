@@ -130,29 +130,20 @@ mod tests {
             .radio(RadioConfig::unit_disk(150.0))
             .arena(Arena::new(10_000.0, 1_000.0))
             .build();
-        let alice = sim.add_node(
-            Box::new(OlsrNode::new(OlsrConfig::fast())),
-            Position::new(0.0, 0.0),
-        );
-        let (wa, wb) = wormhole_pair(
-            OlsrConfig::fast(),
-            OlsrConfig::fast(),
-            SimDuration::from_millis(50),
-        );
+        let alice =
+            sim.add_node(Box::new(OlsrNode::new(OlsrConfig::fast())), Position::new(0.0, 0.0));
+        let (wa, wb) =
+            wormhole_pair(OlsrConfig::fast(), OlsrConfig::fast(), SimDuration::from_millis(50));
         let _end_a = sim.add_node(Box::new(wa), Position::new(100.0, 0.0));
         let _end_b = sim.add_node(Box::new(wb), Position::new(5_000.0, 0.0));
-        let bob = sim.add_node(
-            Box::new(OlsrNode::new(OlsrConfig::fast())),
-            Position::new(5_100.0, 0.0),
-        );
+        let bob =
+            sim.add_node(Box::new(OlsrNode::new(OlsrConfig::fast())), Position::new(5_100.0, 0.0));
         sim.run_for(SimDuration::from_secs(15));
         // Bob hears Alice's HELLOs through the tunnel: from his point of
         // view Alice looks like a (one-way) radio neighbor thousands of
         // metres away.
-        let bob_heard_alice = sim
-            .log(bob)
-            .lines()
-            .any(|l| l.starts_with(&format!("HELLO_RX from={alice}")));
+        let bob_heard_alice =
+            sim.log(bob).lines().any(|l| l.starts_with(&format!("HELLO_RX from={alice}")));
         assert!(bob_heard_alice, "wormhole did not tunnel Alice's HELLOs to Bob");
         let end_a = sim.app_as::<WormholeEndpoint>(NodeId(1)).unwrap();
         assert!(end_a.tunneled_out() > 0);
@@ -162,11 +153,8 @@ mod tests {
 
     #[test]
     fn tunnel_queues_are_symmetric() {
-        let (a, b) = wormhole_pair(
-            OlsrConfig::fast(),
-            OlsrConfig::fast(),
-            SimDuration::from_millis(50),
-        );
+        let (a, b) =
+            wormhole_pair(OlsrConfig::fast(), OlsrConfig::fast(), SimDuration::from_millis(50));
         // a.to_peer is b.from_peer and vice versa.
         a.to_peer.borrow_mut().push_back(Bytes::from_static(b"x"));
         assert_eq!(b.from_peer.borrow().len(), 1);

@@ -24,13 +24,7 @@ fn bench_fig2(c: &mut Criterion) {
 
 fn bench_fig3(c: &mut Criterion) {
     c.bench_function("fig3_liar_impact_3_fractions", |b| {
-        b.iter(|| {
-            black_box(fig3_liar_impact(
-                black_box(paper_config()),
-                &paper_liar_counts(),
-                25,
-            ))
-        })
+        b.iter(|| black_box(fig3_liar_impact(black_box(paper_config()), &paper_liar_counts(), 25)))
     });
 }
 

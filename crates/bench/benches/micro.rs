@@ -118,9 +118,7 @@ fn bench_log_pipeline(c: &mut Criterion) {
     };
     c.bench_function("log_render", |b| b.iter(|| black_box(record.to_line())));
     let line = record.to_line();
-    c.bench_function("log_parse", |b| {
-        b.iter(|| black_box(parse_line(black_box(&line))).unwrap())
-    });
+    c.bench_function("log_parse", |b| b.iter(|| black_box(parse_line(black_box(&line))).unwrap()));
 }
 
 fn bench_signature_engine(c: &mut Criterion) {
@@ -147,8 +145,11 @@ fn bench_signature_engine(c: &mut Criterion) {
 
 fn bench_trust_primitives(c: &mut Criterion) {
     let update = TrustUpdate::default();
-    let evidences =
-        [EvidenceKind::TruthfulTestimony, EvidenceKind::NormalRelaying, EvidenceKind::FalseTestimony];
+    let evidences = [
+        EvidenceKind::TruthfulTestimony,
+        EvidenceKind::NormalRelaying,
+        EvidenceKind::FalseTestimony,
+    ];
     c.bench_function("trust_update_step", |b| {
         b.iter(|| black_box(update.step(black_box(TrustValue::DEFAULT), black_box(&evidences))))
     });

@@ -60,11 +60,7 @@ fn bench_round_engine_scaling(c: &mut Criterion) {
     for n in [16usize, 32, 64] {
         group.bench_function(format!("{n}_nodes_25_rounds"), |b| {
             b.iter(|| {
-                let cfg = RoundConfig {
-                    n_nodes: n,
-                    n_liars: n / 4,
-                    ..RoundConfig::default()
-                };
+                let cfg = RoundConfig { n_nodes: n, n_liars: n / 4, ..RoundConfig::default() };
                 black_box(RoundEngine::new(cfg).run(25))
             })
         });

@@ -30,7 +30,10 @@ fn main() {
         eprintln!("frames per node-second:");
         eprintln!("  plain OLSR           {plain:.2}");
         eprintln!("  detectors, benign    {benign:.2}  (+{:.1}%)", 100.0 * (benign / plain - 1.0));
-        eprintln!("  detectors + attacker {attacked:.2}  (+{:.1}%)", 100.0 * (attacked / plain - 1.0));
+        eprintln!(
+            "  detectors + attacker {attacked:.2}  (+{:.1}%)",
+            100.0 * (attacked / plain - 1.0)
+        );
     } else if args.iter().any(|a| a == "--ablation") {
         let fig = ablations(paper_config(), 25);
         emit(&fig, &args);
@@ -43,12 +46,8 @@ fn main() {
         emit(&fig, &args);
         eprintln!("margin of error at n=14 witnesses (the paper's roster):");
         for s in &fig.series {
-            let at14 = s
-                .points
-                .iter()
-                .find(|(x, _)| (*x - 14.0).abs() < 1e-9)
-                .map(|(_, y)| *y)
-                .unwrap();
+            let at14 =
+                s.points.iter().find(|(x, _)| (*x - 14.0).abs() < 1e-9).map(|(_, y)| *y).unwrap();
             eprintln!("  {}: ε = {at14:.3}", s.label);
         }
     }

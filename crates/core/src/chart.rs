@@ -108,12 +108,8 @@ mod tests {
 
     #[test]
     fn handles_empty_and_flat_data() {
-        let empty = Figure {
-            title: "E".into(),
-            x_label: "x".into(),
-            y_label: "y".into(),
-            series: vec![],
-        };
+        let empty =
+            Figure { title: "E".into(), x_label: "x".into(), y_label: "y".into(), series: vec![] };
         assert!(render(&empty, 40, 10).contains("no finite data"));
 
         let flat = Figure {

@@ -9,16 +9,13 @@ use crate::experiments::Figure;
 /// some x leave the cell empty. Non-finite values render empty too. Labels
 /// containing commas or quotes are quoted per RFC 4180.
 pub fn to_csv(figure: &Figure) -> String {
-    let mut xs: Vec<f64> = figure
-        .series
-        .iter()
-        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
-        .collect();
+    let mut xs: Vec<f64> =
+        figure.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
     xs.sort_by(|a, b| a.partial_cmp(b).expect("x values must not be NaN"));
     xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
     let mut out = String::new();
-    out.push_str("x");
+    out.push('x');
     for s in &figure.series {
         out.push(',');
         out.push_str(&escape(&s.label));
@@ -28,11 +25,7 @@ pub fn to_csv(figure: &Figure) -> String {
         out.push_str(&trim_float(x));
         for s in &figure.series {
             out.push(',');
-            let y = s
-                .points
-                .iter()
-                .find(|&&(px, _)| (px - x).abs() < 1e-12)
-                .map(|&(_, y)| y);
+            let y = s.points.iter().find(|&&(px, _)| (px - x).abs() < 1e-12).map(|&(_, y)| y);
             if let Some(y) = y {
                 if y.is_finite() {
                     out.push_str(&trim_float(y));
@@ -113,12 +106,8 @@ mod tests {
 
     #[test]
     fn empty_figure_is_header_only() {
-        let f = Figure {
-            title: "t".into(),
-            x_label: "x".into(),
-            y_label: "y".into(),
-            series: vec![],
-        };
+        let f =
+            Figure { title: "t".into(), x_label: "x".into(), y_label: "y".into(), series: vec![] };
         assert_eq!(to_csv(&f), "x\n");
     }
 }

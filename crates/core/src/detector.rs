@@ -35,8 +35,8 @@ use trustlink_trust::aggregate::{
     Answer,
 };
 use trustlink_trust::confidence::margin_of_error;
-use trustlink_trust::propagation::{multipath, Recommendation};
 use trustlink_trust::decision::{DecisionRule, Verdict};
+use trustlink_trust::propagation::{multipath, Recommendation};
 use trustlink_trust::store::TrustStore;
 use trustlink_trust::update::TrustUpdate;
 use trustlink_trust::value::{EvidenceKind, GravityCatalogue, TrustValue};
@@ -250,8 +250,7 @@ impl<H: OlsrHooks> DetectorNode<H> {
 
     /// Snapshot of every tracked peer's trust, ascending by node.
     pub fn trust_snapshot(&self) -> Vec<(NodeId, f64)> {
-        let mut v: Vec<(NodeId, f64)> =
-            self.trust.peers().map(|(n, t)| (*n, t.get())).collect();
+        let mut v: Vec<(NodeId, f64)> = self.trust.peers().map(|(n, t)| (*n, t.get())).collect();
         v.sort_by_key(|(n, _)| *n);
         v
     }
@@ -286,10 +285,7 @@ impl<H: OlsrHooks> DetectorNode<H> {
     /// recommending neighbors.
     pub fn indirect_trust_of(&self, target: NodeId) -> TrustValue {
         let pairs = self.recommendations.iter().filter_map(|(source, entries)| {
-            let t_source_target = entries
-                .iter()
-                .find(|(n, _)| *n == target)
-                .map(|(_, t)| *t)?;
+            let t_source_target = entries.iter().find(|(n, _)| *n == target).map(|(_, t)| *t)?;
             Some((Recommendation::from_trust(self.trust.trust_of(source)), t_source_target))
         });
         multipath(pairs)
@@ -381,8 +377,7 @@ impl<H: OlsrHooks> DetectorNode<H> {
         // 5. Close the trust slot. The slot is the investigation round when
         // rounds are concluding (the paper's Δt); otherwise a slow periodic
         // tick paces background relaying evidence.
-        let slot_due =
-            now.saturating_since(self.last_slot) >= self.cfg.trust_slot_interval;
+        let slot_due = now.saturating_since(self.last_slot) >= self.cfg.trust_slot_interval;
         if finalized_any || slot_due {
             if self.cfg.relaying_evidence {
                 for n in self.olsr.symmetric_neighbors(now) {
@@ -402,15 +397,10 @@ impl<H: OlsrHooks> DetectorNode<H> {
     /// which is what keeps honest churn from triggering investigations.
     fn pick_contested(&self, me: NodeId, suspect: NodeId) -> Option<NodeId> {
         let claimed = self.extractor.claimed_neighbors_of(suspect)?;
-        claimed
-            .iter()
-            .copied()
-            .filter(|&x| x != me && x != suspect)
-            .find(|&x| {
-                let vias = self.extractor.vias_for(x);
-                vias.iter().all(|v| *v == suspect)
-                    && !self.extractor.neighbors().contains(&x)
-            })
+        claimed.iter().copied().filter(|&x| x != me && x != suspect).find(|&x| {
+            let vias = self.extractor.vias_for(x);
+            vias.iter().all(|v| *v == suspect) && !self.extractor.neighbors().contains(&x)
+        })
     }
 
     fn warmed_up(&self, now: SimTime) -> bool {
@@ -463,11 +453,7 @@ impl<H: OlsrHooks> DetectorNode<H> {
             ctx.now(),
             self.cfg.investigation.timeout,
         );
-        let req = InvestigationMessage::VerifyLinkRequest {
-            case: case.case,
-            suspect,
-            contested,
-        };
+        let req = InvestigationMessage::VerifyLinkRequest { case: case.case, suspect, contested };
         for &w in &witnesses {
             // Route around the suspect, per Algorithm 1.
             self.olsr.send_data(ctx, w, req.encode(), Some(suspect));
@@ -493,27 +479,21 @@ impl<H: OlsrHooks> DetectorNode<H> {
         // us, but not strong enough to overrule several trusted witnesses
         // (a full-weight self-vote can start a false-positive spiral when
         // the investigator simply lacks corroborating state).
-        let self_evidence = self
-            .verify_link(suspect, case.contested, now)
-            .map(Answer::from_verification);
+        let self_evidence =
+            self.verify_link(suspect, case.contested, now).map(Answer::from_verification);
         let self_weight = self.cfg.initial_trust;
-        let weighted_pool =
-            |this: &Self| -> Vec<(TrustValue, Answer)> {
-                let mut v: Vec<(TrustValue, Answer)> = pairs
-                    .iter()
-                    .map(|&(w, a)| (this.trust.trust_of(&w), a))
-                    .collect();
-                if let Some(a) = self_evidence {
-                    v.push((self_weight, a));
-                }
-                v
-            };
+        let weighted_pool = |this: &Self| -> Vec<(TrustValue, Answer)> {
+            let mut v: Vec<(TrustValue, Answer)> =
+                pairs.iter().map(|&(w, a)| (this.trust.trust_of(&w), a)).collect();
+            if let Some(a) = self_evidence {
+                v.push((self_weight, a));
+            }
+            v
+        };
         let detect = if self.cfg.trust_weighting {
             detection_value(weighted_pool(self))
         } else {
-            unweighted_detection_value(
-                pairs.iter().map(|&(_, a)| a).chain(self_evidence),
-            )
+            unweighted_detection_value(pairs.iter().map(|&(_, a)| a).chain(self_evidence))
         };
         let samples: Vec<f64> = if self.cfg.trust_weighting {
             weighted_evidence_samples(weighted_pool(self))
@@ -564,11 +544,9 @@ impl<H: OlsrHooks> DetectorNode<H> {
                 // E4/E5 evidence completes the link-spoofing signature.
                 for (w, a) in &pairs {
                     let ev = match a {
-                        Answer::Deny => DetectionEvent::NotCovering {
-                            mpr: suspect,
-                            neighbor: *w,
-                            at: now,
-                        },
+                        Answer::Deny => {
+                            DetectionEvent::NotCovering { mpr: suspect, neighbor: *w, at: now }
+                        }
                         Answer::NoAnswer => DetectionEvent::CoveringNonNeighbor {
                             mpr: suspect,
                             claimed: *w,
@@ -606,8 +584,7 @@ impl<H: OlsrHooks> DetectorNode<H> {
 
     fn send_gossip(&mut self, ctx: &mut Context<'_>) {
         let now = ctx.now();
-        let entries: Vec<(NodeId, TrustValue)> =
-            self.trust.peers().map(|(n, t)| (*n, t)).collect();
+        let entries: Vec<(NodeId, TrustValue)> = self.trust.peers().map(|(n, t)| (*n, t)).collect();
         if entries.is_empty() {
             return;
         }
@@ -621,11 +598,8 @@ impl<H: OlsrHooks> DetectorNode<H> {
         if let Ok(gossip) = crate::gossip::TrustGossip::decode(payload.clone()) {
             // Recommendations about the recommender itself are ignored.
             let me = ctx.id();
-            let entries: Vec<(NodeId, TrustValue)> = gossip
-                .entries
-                .into_iter()
-                .filter(|(n, _)| *n != src && *n != me)
-                .collect();
+            let entries: Vec<(NodeId, TrustValue)> =
+                gossip.entries.into_iter().filter(|(n, _)| *n != src && *n != me).collect();
             self.recommendations.insert(src, entries);
             return;
         }
@@ -679,23 +653,16 @@ impl<H: OlsrHooks> DetectorNode<H> {
         if self.olsr.symmetric_neighbors(now).contains(&contested) {
             // I hear the contested node's own HELLOs: does *it* claim the
             // suspect as a symmetric neighbor?
-            return Some(
-                self.olsr
-                    .two_hop_set()
-                    .reachable_via(contested, now)
-                    .contains(&suspect),
-            );
+            return Some(self.olsr.two_hop_set().reachable_via(contested, now).contains(&suspect));
         }
         // Corroboration through anyone other than the suspect?
-        let via_other = self
+        let via_other =
+            self.olsr.two_hop_set().vias_for(contested, now).into_iter().any(|v| v != suspect);
+        let in_topology = self
             .olsr
-            .two_hop_set()
-            .vias_for(contested, now)
-            .into_iter()
-            .any(|v| v != suspect);
-        let in_topology = self.olsr.topology_set().iter(now).any(|t| {
-            (t.dest == contested && t.last_hop != suspect) || t.last_hop == contested
-        });
+            .topology_set()
+            .iter(now)
+            .any(|t| (t.dest == contested && t.last_hop != suspect) || t.last_hop == contested);
         if !via_other && !in_topology {
             if self.warmed_up(now) {
                 Some(false) // nobody but the suspect has ever heard of it
@@ -785,12 +752,9 @@ mod tests {
         let mut d = detector();
         // Suspect N4 claims N1 (corroborated) and N8 (only via N4).
         hello(&mut d, 4, &[1, 8], t(1));
-        d.extractor
-            .ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(4), addr: NodeId(8) });
-        d.extractor
-            .ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(4), addr: NodeId(1) });
-        d.extractor
-            .ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(1) });
+        d.extractor.ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(4), addr: NodeId(8) });
+        d.extractor.ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(4), addr: NodeId(1) });
+        d.extractor.ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(1) });
         assert_eq!(d.pick_contested(NodeId(0), NodeId(4)), Some(NodeId(8)));
     }
 
@@ -799,10 +763,8 @@ mod tests {
         let mut d = detector();
         hello(&mut d, 4, &[1, 8], t(1));
         for via in [2u16, 4] {
-            d.extractor
-                .ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(via), addr: NodeId(8) });
-            d.extractor
-                .ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(via), addr: NodeId(1) });
+            d.extractor.ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(via), addr: NodeId(8) });
+            d.extractor.ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(via), addr: NodeId(1) });
         }
         assert_eq!(d.pick_contested(NodeId(0), NodeId(4)), None);
     }
@@ -831,10 +793,8 @@ mod tests {
         // Two neighbors recommend about N9: one trusted, one distrusted.
         d.trust.set_trust(NodeId(1), TrustValue::new(0.8));
         d.trust.set_trust(NodeId(2), TrustValue::new(-0.5)); // ignored: weight 0
-        d.recommendations
-            .insert(NodeId(1), vec![(NodeId(9), TrustValue::new(-0.9))]);
-        d.recommendations
-            .insert(NodeId(2), vec![(NodeId(9), TrustValue::new(1.0))]);
+        d.recommendations.insert(NodeId(1), vec![(NodeId(9), TrustValue::new(-0.9))]);
+        d.recommendations.insert(NodeId(2), vec![(NodeId(9), TrustValue::new(1.0))]);
         let indirect = d.indirect_trust_of(NodeId(9));
         assert!(
             (indirect.get() - (-0.9)).abs() < 1e-9,

@@ -14,7 +14,7 @@
 
 use trustlink_trust::confidence::margin_of_error;
 
-use crate::rounds::{RoundConfig, RoundEngine, RoleKind};
+use crate::rounds::{RoleKind, RoundConfig, RoundEngine};
 
 /// One labelled line of a figure.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,8 +145,7 @@ pub fn confidence_sweep(confidence_levels: &[f64], max_n: usize) -> Figure {
     for &cl in confidence_levels {
         let mut points = Vec::new();
         for n in 2..=max_n {
-            let samples: Vec<f64> =
-                (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+            let samples: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
             points.push((n as f64, margin_of_error(&samples, cl)));
         }
         series.push(Series { label: format!("cl={cl:.2}"), points });
@@ -183,10 +182,7 @@ pub fn ablations(base: RoundConfig, rounds: u32) -> Figure {
         series.push(Series::from_rounds(format!("answer_prob={p}"), &trace.detect));
     }
 
-    let flat = RoundConfig {
-        gravity: trustlink_trust::value::GravityCatalogue::flat(0.1),
-        ..base
-    };
+    let flat = RoundConfig { gravity: trustlink_trust::value::GravityCatalogue::flat(0.1), ..base };
     let trace = RoundEngine::new(flat).run(rounds);
     series.push(Series::from_rounds("flat gravity", &trace.detect));
 
@@ -218,10 +214,8 @@ pub fn conviction_latency(base: RoundConfig, liar_counts: &[usize], rounds: u32)
         let witnesses = cfg.n_nodes - 2;
         let pct = 100.0 * n_liars as f64 / witnesses as f64;
         let trace = RoundEngine::new(cfg).run(rounds);
-        let latency = trace
-            .first_conviction()
-            .map(|r| r as f64 + 1.0)
-            .unwrap_or(f64::from(rounds) + 1.0);
+        let latency =
+            trace.first_conviction().map(|r| r as f64 + 1.0).unwrap_or(f64::from(rounds) + 1.0);
         points.push((pct, latency));
     }
     Figure {
@@ -326,10 +320,8 @@ mod tests {
 
     #[test]
     fn fig2_converges_to_default() {
-        let cfg = RoundConfig {
-            initial_trust: InitialTrust::PerNode(vec![0.9, 0.5, 0.15]),
-            ..base()
-        };
+        let cfg =
+            RoundConfig { initial_trust: InitialTrust::PerNode(vec![0.9, 0.5, 0.15]), ..base() };
         let fig = fig2_forgetting(cfg, 80);
         for s in &fig.series {
             let last = s.last_y().unwrap();
@@ -409,8 +401,7 @@ mod tests {
             ..base()
         };
         let fig = conviction_latency(base, &[0, 2, 4, 6], 25);
-        let latencies: Vec<f64> =
-            fig.series[0].points.iter().map(|&(_, y)| y).collect();
+        let latencies: Vec<f64> = fig.series[0].points.iter().map(|&(_, y)| y).collect();
         // Every configuration converges within the horizon...
         for l in &latencies {
             assert!(*l <= 25.0, "no conviction: {latencies:?}");
@@ -440,12 +431,8 @@ mod tests {
         assert_eq!(s.points[0], (1.0, 1.0));
         assert_eq!(s.y_at_round(2), Some(2.0));
         assert_eq!(s.last_y(), Some(3.0));
-        let fig = Figure {
-            title: "t".into(),
-            x_label: "x".into(),
-            y_label: "y".into(),
-            series: vec![s],
-        };
+        let fig =
+            Figure { title: "t".into(), x_label: "x".into(), y_label: "y".into(), series: vec![s] };
         assert!(fig.series_named("x").is_some());
         assert!(fig.series_named("nope").is_none());
     }

@@ -47,11 +47,11 @@ pub mod scenario;
 /// Glob-import of the system's main types and experiment entry points.
 pub mod prelude {
     pub use crate::detector::{DetectorConfig, DetectorNode, VerdictRecord, TIMER_ANALYSIS};
-    pub use crate::gossip::TrustGossip;
     pub use crate::experiments::{
         ablations, confidence_sweep, fig1_trustworthiness, fig2_forgetting, fig3_liar_impact,
         paper_liar_counts, Figure, Series,
     };
+    pub use crate::gossip::TrustGossip;
     pub use crate::rounds::{
         InitialTrust, RoleKind, RoundConfig, RoundEngine, RoundTrace, WitnessTrace,
     };

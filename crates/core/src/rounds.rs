@@ -9,6 +9,14 @@
 //! trust-weighted `Detect` value (formula 8) is computed and every
 //! participant's trust is updated (formula 5).
 //!
+//! The investigation is *cumulative*: every answer ever collected stays in
+//! the evidence set, and each round formula (8) re-aggregates the whole set
+//! under the witnesses' **current** trust. As liars lose trust their past
+//! confirmations lose weight retroactively, the detection value settles
+//! near −(answer rate) ≈ −0.8, and the formula (9) sample grows round by
+//! round so the confidence interval narrows until rule (10) can convict —
+//! exactly the convergence the paper's Figure 3 shows.
+//!
 //! This module runs that loop without the packet simulator, which is what
 //! Figures 1–3 plot; the packet-level path (see [`crate::scenario`])
 //! validates that the same dynamics emerge end-to-end.
@@ -148,20 +156,12 @@ impl RoundTrace {
 
     /// Indices of liars.
     pub fn liars(&self) -> Vec<usize> {
-        self.witnesses
-            .iter()
-            .filter(|w| w.role == RoleKind::Liar)
-            .map(|w| w.index)
-            .collect()
+        self.witnesses.iter().filter(|w| w.role == RoleKind::Liar).map(|w| w.index).collect()
     }
 
     /// Indices of honest witnesses.
     pub fn honest(&self) -> Vec<usize> {
-        self.witnesses
-            .iter()
-            .filter(|w| w.role == RoleKind::Honest)
-            .map(|w| w.index)
-            .collect()
+        self.witnesses.iter().filter(|w| w.role == RoleKind::Honest).map(|w| w.index).collect()
     }
 }
 
@@ -175,6 +175,9 @@ pub struct RoundEngine {
     roles: Vec<RoleKind>,
     rule: DecisionRule,
     round: u32,
+    /// Every `(witness, answer)` collected since the investigation opened;
+    /// cleared when the attack window closes (the investigation ends).
+    history: Vec<(usize, Answer)>,
 }
 
 impl RoundEngine {
@@ -202,7 +205,7 @@ impl RoundEngine {
             roles.push(if i < cfg.n_liars { RoleKind::Liar } else { RoleKind::Honest });
         }
         let rule = DecisionRule::new(cfg.gamma);
-        RoundEngine { cfg, rng, trust, roles, rule, round: 0 }
+        RoundEngine { cfg, rng, trust, roles, rule, round: 0, history: Vec::new() }
     }
 
     /// Number of witnesses.
@@ -226,6 +229,8 @@ impl RoundEngine {
         self.round += 1;
         if !active {
             // Peace: background good behaviour only (Figure 2's regime).
+            // Any open investigation is over; its evidence set is dropped.
+            self.history.clear();
             for i in 0..self.roles.len() {
                 self.trust.record(i, EvidenceKind::NormalRelaying);
             }
@@ -249,28 +254,40 @@ impl RoundEngine {
             pairs.push((i, answer));
         }
 
-        // Formula (8) (or the unweighted ablation).
+        // Formula (8) (or the unweighted ablation) over the whole
+        // investigation so far, re-weighted by the witnesses' current trust:
+        // once a liar is distrusted, its earlier confirmations stop counting.
+        self.history.extend(pairs.iter().copied());
         let detect = if self.cfg.trust_weighting {
-            detection_value(pairs.iter().map(|&(i, a)| (self.trust.trust_of(&i), a)))
+            detection_value(self.history.iter().map(|&(i, a)| (self.trust.trust_of(&i), a)))
         } else {
-            unweighted_detection_value(pairs.iter().map(|&(_, a)| a))
+            unweighted_detection_value(self.history.iter().map(|&(_, a)| a))
         };
         let samples: Vec<f64> = if self.cfg.trust_weighting {
-            weighted_evidence_samples(pairs.iter().map(|&(i, a)| (self.trust.trust_of(&i), a)))
+            weighted_evidence_samples(
+                self.history.iter().map(|&(i, a)| (self.trust.trust_of(&i), a)),
+            )
         } else {
-            answered_samples(pairs.iter().map(|&(_, a)| a))
+            answered_samples(self.history.iter().map(|&(_, a)| a))
         };
         let margin = margin_of_error(&samples, self.cfg.confidence_level);
         let verdict = self.rule.decide(detect, margin);
 
-        // Formula (5) evidence assignment, keyed to the aggregate's sign.
+        // Formula (5) evidence assignment. The investigator is the attacked
+        // node and the contested link is its own, so it knows the ground
+        // truth: denying the spoofed link is truthful, confirming it covers
+        // the attacker. (Keying this to the aggregate's sign instead is
+        // unstable: with ~43% well-trusted liars a slightly positive first
+        // round rewards the liars, and the feedback loop convicts the honest
+        // majority — the opposite of the paper's Figure 3. The packet-level
+        // detector deliberately keeps threshold-gated sign keying: it
+        // investigates *third-party* links, where no local ground truth
+        // exists.)
         for (i, a) in &pairs {
             let kind = match a {
                 Answer::NoAnswer => EvidenceKind::Unresponsive,
-                Answer::Deny if detect < 0.0 => EvidenceKind::TruthfulTestimony,
-                Answer::Confirm if detect < 0.0 => EvidenceKind::FalseTestimony,
-                Answer::Confirm => EvidenceKind::TruthfulTestimony,
-                Answer::Deny => EvidenceKind::FalseTestimony,
+                Answer::Deny => EvidenceKind::TruthfulTestimony,
+                Answer::Confirm => EvidenceKind::FalseTestimony,
             };
             self.trust.record(*i, kind);
             if self.cfg.relaying_evidence {
@@ -455,11 +472,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "witnesses")]
     fn too_many_liars_rejected() {
-        let _ = RoundEngine::new(RoundConfig {
-            n_nodes: 4,
-            n_liars: 3,
-            ..RoundConfig::default()
-        });
+        let _ = RoundEngine::new(RoundConfig { n_nodes: 4, n_liars: 3, ..RoundConfig::default() });
     }
 
     #[test]

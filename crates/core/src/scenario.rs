@@ -142,10 +142,8 @@ impl ScenarioBuilder {
             Topology::RandomConnected { arena } => Arena::new(arena.0, arena.1),
             _ => Arena::new(100_000.0, 100_000.0),
         };
-        let mut sim = SimulatorBuilder::new(self.seed)
-            .radio(self.radio.clone())
-            .arena(arena)
-            .build();
+        let mut sim =
+            SimulatorBuilder::new(self.seed).radio(self.radio.clone()).arena(arena).build();
         for (i, pos) in positions.iter().enumerate() {
             if let Some(spoofing) = self.attackers.get(&i) {
                 // Attackers run the detector stack too (every node hosts the
@@ -203,8 +201,7 @@ impl ScenarioReport {
                 if let Some(d) = sim.app_as::<DetectorNode>(id) {
                     Some(d.verdicts().to_vec())
                 } else {
-                    sim.app_as::<DetectorNode<LinkSpoofing>>(id)
-                        .map(|d| d.verdicts().to_vec())
+                    sim.app_as::<DetectorNode<LinkSpoofing>>(id).map(|d| d.verdicts().to_vec())
                 };
             if let Some(records) = records {
                 for r in records {
@@ -238,9 +235,7 @@ impl ScenarioReport {
     pub fn false_positives(&self) -> Vec<&(NodeId, VerdictRecord)> {
         self.verdicts
             .iter()
-            .filter(|(_, r)| {
-                r.verdict == Verdict::Intruder && !self.attackers.contains(&r.suspect)
-            })
+            .filter(|(_, r)| r.verdict == Verdict::Intruder && !self.attackers.contains(&r.suspect))
             .collect()
     }
 

@@ -430,8 +430,7 @@ mod tests {
             .ingest(t(2), &LogRecord::MprSet { mprs: vec![NodeId(1), NodeId(2)] })
             .is_empty());
         // 1 replaced by 3: E1.
-        let events =
-            ex.ingest(t(3), &LogRecord::MprSet { mprs: vec![NodeId(2), NodeId(3)] });
+        let events = ex.ingest(t(3), &LogRecord::MprSet { mprs: vec![NodeId(2), NodeId(3)] });
         assert_eq!(events.len(), 1);
         match &events[0] {
             DetectionEvent::MprReplaced { replaced, replacing, at } => {
@@ -501,13 +500,12 @@ mod tests {
             },
         );
         // Within the allowance: quiet.
-        assert!(ex
-            .tick(t(5), trustlink_sim::SimDuration::from_secs(10))
-            .iter()
-            .all(|e| !matches!(
+        assert!(ex.tick(t(5), trustlink_sim::SimDuration::from_secs(10)).iter().all(
+            |e| !matches!(
                 e,
                 DetectionEvent::MprMisbehaving { reason: MisbehaviourReason::TcSilence, .. }
-            )));
+            )
+        ));
         // Long after: flagged.
         let events = ex.tick(t(30), trustlink_sim::SimDuration::from_secs(10));
         assert!(events.iter().any(|e| matches!(
@@ -560,10 +558,8 @@ mod tests {
         let mut ex = EventExtractor::new();
         ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(7) });
         // N5 claims N7 (a known main address) as its alias: hijack.
-        let events = ex.ingest(
-            t(1),
-            &LogRecord::MidRx { originator: NodeId(5), aliases: vec![NodeId(7)] },
-        );
+        let events =
+            ex.ingest(t(1), &LogRecord::MidRx { originator: NodeId(5), aliases: vec![NodeId(7)] });
         assert!(matches!(
             events[0],
             DetectionEvent::MprMisbehaving {
@@ -573,10 +569,8 @@ mod tests {
             }
         ));
         // A fresh, unknown alias is legitimate MID usage: no event.
-        let ok = ex.ingest(
-            t(2),
-            &LogRecord::MidRx { originator: NodeId(6), aliases: vec![NodeId(60)] },
-        );
+        let ok =
+            ex.ingest(t(2), &LogRecord::MidRx { originator: NodeId(6), aliases: vec![NodeId(60)] });
         assert!(ok.is_empty());
     }
 
@@ -600,10 +594,7 @@ mod tests {
         ex.ingest(t(0), &hello(1, &[2, 3]));
         ex.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(3) });
         ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(1) });
-        assert_eq!(
-            ex.claimed_neighbors_of(NodeId(1)),
-            Some(&[NodeId(2), NodeId(3)][..])
-        );
+        assert_eq!(ex.claimed_neighbors_of(NodeId(1)), Some(&[NodeId(2), NodeId(3)][..]));
         assert_eq!(ex.vias_for(NodeId(3)), vec![NodeId(1)]);
         assert!(ex.neighbors().contains(&NodeId(1)));
         assert!(ex.known_nodes().contains(&NodeId(3)));

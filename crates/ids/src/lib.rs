@@ -53,9 +53,7 @@ pub mod prelude {
     pub use crate::investigation::{
         plan_witnesses, Investigation, InvestigationConfig, InvestigationMessage, WitnessAnswer,
     };
-    pub use crate::signature::{
-        EventPattern, Signature, SignatureEngine, SignatureMatch, Stage,
-    };
+    pub use crate::signature::{EventPattern, Signature, SignatureEngine, SignatureMatch, Stage};
 }
 
 pub use events::{Criticality, DetectionEvent, EventExtractor, MisbehaviourReason};

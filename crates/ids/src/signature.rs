@@ -68,9 +68,7 @@ impl EventPattern {
             }
             (EventPattern::SoleConnectivity, DetectionEvent::SoleConnectivity { .. }) => true,
             (EventPattern::NotCovering, DetectionEvent::NotCovering { .. }) => true,
-            (EventPattern::CoveringNonNeighbor, DetectionEvent::CoveringNonNeighbor { .. }) => {
-                true
-            }
+            (EventPattern::CoveringNonNeighbor, DetectionEvent::CoveringNonNeighbor { .. }) => true,
             _ => false,
         }
     }
@@ -139,9 +137,9 @@ impl Signature {
     pub fn forged_traffic() -> Self {
         Signature {
             name: "forged-traffic".to_string(),
-            stages: vec![Stage::any([
-                EventPattern::MprMisbehavingBecause(MisbehaviourKind::Malformed),
-            ])],
+            stages: vec![Stage::any([EventPattern::MprMisbehavingBecause(
+                MisbehaviourKind::Malformed,
+            )])],
             window: SimDuration::from_secs(1),
         }
     }
@@ -282,11 +280,7 @@ mod tests {
     }
 
     fn e5(suspect: u16, at: u64) -> DetectionEvent {
-        DetectionEvent::CoveringNonNeighbor {
-            mpr: NodeId(suspect),
-            claimed: NodeId(42),
-            at: t(at),
-        }
+        DetectionEvent::CoveringNonNeighbor { mpr: NodeId(suspect), claimed: NodeId(42), at: t(at) }
     }
 
     fn engine() -> SignatureEngine {
@@ -374,9 +368,8 @@ mod tests {
 
     #[test]
     fn drop_signature_requires_tc_silence_kind() {
-        let mut eng = SignatureEngine::new(vec![Signature::drop_attack(
-            SimDuration::from_secs(60),
-        )]);
+        let mut eng =
+            SignatureEngine::new(vec![Signature::drop_attack(SimDuration::from_secs(60))]);
         // Malformed traffic is E2 but not TC-silence: stage 0 not satisfied.
         let ev = DetectionEvent::MprMisbehaving {
             mpr: NodeId(2),

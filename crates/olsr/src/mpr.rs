@@ -112,9 +112,7 @@ pub fn select_mprs(candidates: &[MprCandidate], two_hop_targets: &[NodeId]) -> V
             if c.willingness == Willingness::Never || mprs.contains(&c.addr) {
                 continue;
             }
-            let reach = coverage
-                .get(&c.addr)
-                .map_or(0, |cov| cov.intersection(&uncovered).count());
+            let reach = coverage.get(&c.addr).map_or(0, |cov| cov.intersection(&uncovered).count());
             if reach == 0 {
                 continue;
             }
@@ -208,10 +206,7 @@ mod tests {
     #[test]
     fn sole_cover_is_forced() {
         // 1 covers {10}, 2 covers {10, 11}: 2 is the sole cover of 11.
-        let c = [
-            cand(1, Willingness::Default, &[10]),
-            cand(2, Willingness::Default, &[10, 11]),
-        ];
+        let c = [cand(1, Willingness::Default, &[10]), cand(2, Willingness::Default, &[10, 11])];
         let mprs = select_mprs(&c, &ids(&[10, 11]));
         assert_eq!(mprs, ids(&[2])); // 2 alone suffices
     }
@@ -245,10 +240,7 @@ mod tests {
 
     #[test]
     fn will_never_is_excluded() {
-        let c = [
-            cand(1, Willingness::Never, &[10, 11]),
-            cand(2, Willingness::Default, &[10]),
-        ];
+        let c = [cand(1, Willingness::Never, &[10, 11]), cand(2, Willingness::Default, &[10])];
         let mprs = select_mprs(&c, &ids(&[10, 11]));
         assert_eq!(mprs, ids(&[2]));
         // 11 is only coverable via the unwilling node: stays uncovered but
@@ -258,10 +250,7 @@ mod tests {
 
     #[test]
     fn will_always_is_always_selected() {
-        let c = [
-            cand(1, Willingness::Always, &[]),
-            cand(2, Willingness::Default, &[10]),
-        ];
+        let c = [cand(1, Willingness::Always, &[]), cand(2, Willingness::Default, &[10])];
         let mprs = select_mprs(&c, &ids(&[10]));
         assert_eq!(mprs, ids(&[1, 2]));
         // Even with no 2-hop targets at all:

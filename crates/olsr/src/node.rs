@@ -353,12 +353,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
             body: MessageBody::Tc(tc),
         };
         // Record own message so an echoed copy is not reprocessed.
-        self.duplicates.record(
-            self.id,
-            self.msg_seq,
-            true,
-            now + self.config.duplicate_hold_time,
-        );
+        self.duplicates.record(self.id, self.msg_seq, true, now + self.config.duplicate_hold_time);
         self.transmit(ctx, vec![msg]);
     }
 
@@ -563,11 +558,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
             return;
         }
         let sender_main = self.ifaces.main_of(from, now);
-        if !self
-            .links
-            .symmetric_neighbors(now)
-            .contains(&sender_main)
-        {
+        if !self.links.symmetric_neighbors(now).contains(&sender_main) {
             suppress(self, ctx, SuppressReason::UnknownSender);
             return;
         }
@@ -596,7 +587,13 @@ impl<H: OlsrHooks> OlsrNode<H> {
         self.transmit(ctx, vec![fwd]);
     }
 
-    fn process_data(&mut self, ctx: &mut Context<'_>, msg: &Message, data: &DataMessage, from: NodeId) {
+    fn process_data(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msg: &Message,
+        data: &DataMessage,
+        from: NodeId,
+    ) {
         let now = ctx.now();
         if data.dst == self.id {
             ctx.log(LogRecord::DataRx { src: data.src }.to_line());
@@ -744,9 +741,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
                 let willingness = if self.excluded_mprs.contains(&n) {
                     Willingness::Never
                 } else {
-                    self.neighbors
-                        .get(n)
-                        .map_or(Willingness::Default, |t| t.willingness)
+                    self.neighbors.get(n).map_or(Willingness::Default, |t| t.willingness)
                 };
                 crate::mpr::MprCandidate { addr: n, willingness, degree: covers.len(), covers }
             })
@@ -787,7 +782,8 @@ impl<H: OlsrHooks> Application for OlsrNode<H> {
         // lock-step (the usual OLSR jitter).
         let hello_us = self.config.hello_interval.as_micros();
         let tc_us = self.config.tc_interval.as_micros();
-        let hello_off = trustlink_sim::SimDuration::from_micros(ctx.rng().random_range(0..hello_us));
+        let hello_off =
+            trustlink_sim::SimDuration::from_micros(ctx.rng().random_range(0..hello_us));
         let tc_off = trustlink_sim::SimDuration::from_micros(ctx.rng().random_range(0..tc_us));
         ctx.set_timer(hello_off, TIMER_HELLO);
         ctx.set_timer(tc_off, TIMER_TC);
@@ -970,11 +966,8 @@ mod tests {
         sim.run_for(SimDuration::from_secs(20));
         // N0 must have learned, via TCs, links it cannot hear directly.
         let a = sim.app_as::<OlsrNode>(NodeId(0)).unwrap();
-        let topo_edges: Vec<(NodeId, NodeId)> = a
-            .topology_set()
-            .iter(sim.now())
-            .map(|t| (t.last_hop, t.dest))
-            .collect();
+        let topo_edges: Vec<(NodeId, NodeId)> =
+            a.topology_set().iter(sim.now()).map(|t| (t.last_hop, t.dest)).collect();
         assert!(
             topo_edges.iter().any(|(lh, d)| lh.0 >= 2 || d.0 >= 2),
             "no remote topology learned: {topo_edges:?}"

@@ -192,12 +192,7 @@ mod tests {
         for (i, &(last_hop, dest)) in entries.iter().enumerate() {
             // Distinct originators may repeat; use one ANSN per last_hop.
             let _ = i;
-            set.apply_tc(
-                NodeId(last_hop),
-                1,
-                &[NodeId(dest)],
-                SimTime::from_secs(1_000),
-            );
+            set.apply_tc(NodeId(last_hop), 1, &[NodeId(dest)], SimTime::from_secs(1_000));
         }
         set
     }
@@ -320,13 +315,7 @@ mod tests {
 
     #[test]
     fn diff_reports_changes() {
-        let t1 = RoutingTable::compute(
-            NodeId(0),
-            &[NodeId(1)],
-            &no2h(),
-            &topo(&[(1, 2)]),
-            now(),
-        );
+        let t1 = RoutingTable::compute(NodeId(0), &[NodeId(1)], &no2h(), &topo(&[(1, 2)]), now());
         let t2 = RoutingTable::compute(
             NodeId(0),
             &[NodeId(1), NodeId(3)],

@@ -261,12 +261,8 @@ impl TwoHopSet {
 
     /// Drops expired pairs; returns the removed `(via, two_hop)` pairs.
     pub fn purge(&mut self, now: SimTime) -> Vec<(NodeId, NodeId)> {
-        let dead: Vec<(NodeId, NodeId)> = self
-            .tuples
-            .iter()
-            .filter(|(_, &until)| until <= now)
-            .map(|(&k, _)| k)
-            .collect();
+        let dead: Vec<(NodeId, NodeId)> =
+            self.tuples.iter().filter(|(_, &until)| until <= now).map(|(&k, _)| k).collect();
         for k in &dead {
             self.tuples.remove(k);
         }
@@ -320,11 +316,7 @@ impl MprSelectorSet {
 
     /// All live selector addresses at `now`, ascending.
     pub fn addrs(&self, now: SimTime) -> Vec<NodeId> {
-        self.tuples
-            .iter()
-            .filter(|(_, &until)| until > now)
-            .map(|(&a, _)| a)
-            .collect()
+        self.tuples.iter().filter(|(_, &until)| until > now).map(|(&a, _)| a).collect()
     }
 
     /// `true` when nobody selects us at `now`.
@@ -334,12 +326,8 @@ impl MprSelectorSet {
 
     /// Drops expired entries; returns the removed addresses.
     pub fn purge(&mut self, now: SimTime) -> Vec<NodeId> {
-        let dead: Vec<NodeId> = self
-            .tuples
-            .iter()
-            .filter(|(_, &until)| until <= now)
-            .map(|(&a, _)| a)
-            .collect();
+        let dead: Vec<NodeId> =
+            self.tuples.iter().filter(|(_, &until)| until <= now).map(|(&a, _)| a).collect();
         for a in &dead {
             self.tuples.remove(a);
         }
@@ -370,11 +358,7 @@ pub struct TopologySet {
 impl TopologySet {
     /// Latest ANSN recorded for `last_hop`, if any tuple survives.
     pub fn ansn_of(&self, last_hop: NodeId) -> Option<u16> {
-        self.tuples
-            .iter()
-            .filter(|(&(lh, _), _)| lh == last_hop)
-            .map(|(_, t)| t.ansn)
-            .next()
+        self.tuples.iter().filter(|(&(lh, _), _)| lh == last_hop).map(|(_, t)| t.ansn).next()
     }
 
     /// Applies a TC from `last_hop` carrying `ansn` and `dests`
@@ -416,12 +400,8 @@ impl TopologySet {
 
     /// Drops expired tuples; returns removed `(last_hop, dest)` pairs.
     pub fn purge(&mut self, now: SimTime) -> Vec<(NodeId, NodeId)> {
-        let dead: Vec<(NodeId, NodeId)> = self
-            .tuples
-            .iter()
-            .filter(|(_, t)| t.until <= now)
-            .map(|(&k, _)| k)
-            .collect();
+        let dead: Vec<(NodeId, NodeId)> =
+            self.tuples.iter().filter(|(_, t)| t.until <= now).map(|(&k, _)| k).collect();
         for k in &dead {
             self.tuples.remove(k);
         }
@@ -458,16 +438,12 @@ pub struct DuplicateTuple {
 impl DuplicateSet {
     /// `true` when `(originator, seq)` was already processed.
     pub fn seen(&self, originator: NodeId, seq: SequenceNumber, now: SimTime) -> bool {
-        self.tuples
-            .get(&(originator, seq.0))
-            .is_some_and(|t| t.until > now)
+        self.tuples.get(&(originator, seq.0)).is_some_and(|t| t.until > now)
     }
 
     /// `true` when `(originator, seq)` was already retransmitted.
     pub fn retransmitted(&self, originator: NodeId, seq: SequenceNumber, now: SimTime) -> bool {
-        self.tuples
-            .get(&(originator, seq.0))
-            .is_some_and(|t| t.until > now && t.retransmitted)
+        self.tuples.get(&(originator, seq.0)).is_some_and(|t| t.until > now && t.retransmitted)
     }
 
     /// Records a processed message.
@@ -550,7 +526,8 @@ mod tests {
 
     #[test]
     fn link_status_transitions() {
-        let tuple = LinkTuple { neighbor: NodeId(1), sym_until: t(5), asym_until: t(10), until: t(12) };
+        let tuple =
+            LinkTuple { neighbor: NodeId(1), sym_until: t(5), asym_until: t(10), until: t(12) };
         assert_eq!(tuple.status(t(0)), LinkStatus::Symmetric);
         assert_eq!(tuple.status(t(5)), LinkStatus::Asymmetric);
         assert_eq!(tuple.status(t(10)), LinkStatus::Lost);
@@ -559,8 +536,18 @@ mod tests {
     #[test]
     fn link_set_upsert_extends_only() {
         let mut set = LinkSet::default();
-        set.upsert(LinkTuple { neighbor: NodeId(1), sym_until: t(5), asym_until: t(5), until: t(6) });
-        set.upsert(LinkTuple { neighbor: NodeId(1), sym_until: t(3), asym_until: t(8), until: t(9) });
+        set.upsert(LinkTuple {
+            neighbor: NodeId(1),
+            sym_until: t(5),
+            asym_until: t(5),
+            until: t(6),
+        });
+        set.upsert(LinkTuple {
+            neighbor: NodeId(1),
+            sym_until: t(3),
+            asym_until: t(8),
+            until: t(9),
+        });
         let tuple = set.get(NodeId(1)).unwrap();
         assert_eq!(tuple.sym_until, t(5)); // not shrunk
         assert_eq!(tuple.asym_until, t(8));
@@ -570,8 +557,18 @@ mod tests {
     #[test]
     fn link_set_symmetric_and_purge() {
         let mut set = LinkSet::default();
-        set.upsert(LinkTuple { neighbor: NodeId(1), sym_until: t(5), asym_until: t(5), until: t(6) });
-        set.upsert(LinkTuple { neighbor: NodeId(2), sym_until: t(0), asym_until: t(5), until: t(6) });
+        set.upsert(LinkTuple {
+            neighbor: NodeId(1),
+            sym_until: t(5),
+            asym_until: t(5),
+            until: t(6),
+        });
+        set.upsert(LinkTuple {
+            neighbor: NodeId(2),
+            sym_until: t(0),
+            asym_until: t(5),
+            until: t(6),
+        });
         assert_eq!(set.symmetric_neighbors(t(1)), vec![NodeId(1)]);
         assert_eq!(set.heard_neighbors(t(1)), vec![NodeId(1), NodeId(2)]);
         let dead = set.purge(t(6));
@@ -582,7 +579,12 @@ mod tests {
     #[test]
     fn link_declared_lost() {
         let mut set = LinkSet::default();
-        set.upsert(LinkTuple { neighbor: NodeId(1), sym_until: t(50), asym_until: t(50), until: t(60) });
+        set.upsert(LinkTuple {
+            neighbor: NodeId(1),
+            sym_until: t(50),
+            asym_until: t(50),
+            until: t(60),
+        });
         set.declare_lost(NodeId(1), t(10));
         assert_eq!(set.get(NodeId(1)).unwrap().status(t(10)), LinkStatus::Asymmetric);
     }
@@ -606,10 +608,7 @@ mod tests {
         set.upsert(NodeId(1), NodeId(10), t(5));
         set.upsert(NodeId(1), NodeId(11), t(5));
         set.upsert(NodeId(2), NodeId(10), t(5));
-        assert_eq!(
-            set.two_hop_addrs(t(0), NodeId(0), &[]),
-            vec![NodeId(10), NodeId(11)]
-        );
+        assert_eq!(set.two_hop_addrs(t(0), NodeId(0), &[]), vec![NodeId(10), NodeId(11)]);
         // Excluding 1-hop neighbors and self:
         assert_eq!(set.two_hop_addrs(t(0), NodeId(0), &[NodeId(11)]), vec![NodeId(10)]);
         assert!(set.two_hop_addrs(t(0), NodeId(10), &[NodeId(11)]).is_empty());

@@ -43,7 +43,7 @@ impl fmt::Display for SequenceNumber {
 /// A node's declared willingness to carry traffic for others (RFC 3626
 /// §18.8). MPR selection prefers higher willingness; `Never` is never
 /// selected, `Always` is always selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 #[repr(u8)]
 pub enum Willingness {
     /// WILL_NEVER (0): must never be selected as MPR.
@@ -51,6 +51,7 @@ pub enum Willingness {
     /// WILL_LOW (1).
     Low = 1,
     /// WILL_DEFAULT (3).
+    #[default]
     Default = 3,
     /// WILL_HIGH (6).
     High = 6,
@@ -66,7 +67,7 @@ impl Willingness {
         match b {
             0 => Willingness::Never,
             1 | 2 => Willingness::Low,
-            3 | 4 | 5 => Willingness::Default,
+            3..=5 => Willingness::Default,
             6 => Willingness::High,
             _ => Willingness::Always,
         }
@@ -75,12 +76,6 @@ impl Willingness {
     /// The wire encoding.
     pub fn to_wire(self) -> u8 {
         self as u8
-    }
-}
-
-impl Default for Willingness {
-    fn default() -> Self {
-        Willingness::Default
     }
 }
 

@@ -216,7 +216,7 @@ fn decode_hello(bytes: &mut Bytes) -> Result<HelloMessage, WireError> {
         let code = LinkCode::from_wire(bytes.get_u8());
         let _reserved = bytes.get_u8();
         let size = bytes.get_u16() as usize;
-        if size < 4 || (size - 4) % 2 != 0 {
+        if size < 4 || !(size - 4).is_multiple_of(2) {
             return Err(WireError::BadLength);
         }
         let addr_bytes = size - 4;

@@ -22,32 +22,25 @@ fn willingness() -> impl Strategy<Value = Willingness> {
 }
 
 fn candidates() -> impl Strategy<Value = Vec<MprCandidate>> {
-    proptest::collection::vec(
-        (willingness(), proptest::collection::vec(100u16..140, 0..8)),
-        1..12,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (willingness, covers))| MprCandidate {
-                addr: NodeId(i as u16), // unique, like a real neighbor set
-                willingness,
-                degree: covers.len(),
-                covers: covers.into_iter().map(NodeId).collect(),
-            })
-            .collect()
-    })
+    proptest::collection::vec((willingness(), proptest::collection::vec(100u16..140, 0..8)), 1..12)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (willingness, covers))| MprCandidate {
+                    addr: NodeId(i as u16), // unique, like a real neighbor set
+                    willingness,
+                    degree: covers.len(),
+                    covers: covers.into_iter().map(NodeId).collect(),
+                })
+                .collect()
+        })
 }
 
 /// Like [`candidates`] but allowing duplicate addresses — a malformed
 /// input `select_mprs` must survive (coverage merges).
 fn candidates_with_duplicates() -> impl Strategy<Value = Vec<MprCandidate>> {
     proptest::collection::vec(
-        (
-            0u16..6,
-            willingness(),
-            proptest::collection::vec(100u16..140, 0..8),
-        ),
+        (0u16..6, willingness(), proptest::collection::vec(100u16..140, 0..8)),
         1..12,
     )
     .prop_map(|raw| {

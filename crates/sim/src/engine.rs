@@ -336,10 +336,8 @@ impl Simulator {
         if self.mobility_scheduled {
             return;
         }
-        let any_mobile = self
-            .slots
-            .iter()
-            .any(|s| !matches!(s.mobility.model, MobilityModel::Stationary));
+        let any_mobile =
+            self.slots.iter().any(|s| !matches!(s.mobility.model, MobilityModel::Stationary));
         if any_mobile {
             self.mobility_scheduled = true;
             self.schedule(self.mobility_tick, EventKind::MobilityTick);

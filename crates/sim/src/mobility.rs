@@ -80,9 +80,10 @@ impl Default for Arena {
 }
 
 /// How a node moves.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum MobilityModel {
     /// The node never moves. This is the paper's evaluation setting.
+    #[default]
     Stationary,
     /// Classic random waypoint: pick a uniform destination, travel to it at a
     /// uniform speed drawn from `[speed_min, speed_max]` m/s, pause, repeat.
@@ -100,12 +101,6 @@ pub enum MobilityModel {
         /// Speed in m/s.
         speed: f64,
     },
-}
-
-impl Default for MobilityModel {
-    fn default() -> Self {
-        MobilityModel::Stationary
-    }
 }
 
 /// Engine-side state for one node's mobility.
@@ -126,7 +121,13 @@ impl MobilityState {
     }
 
     /// Advances the node by `dt`, returning its new position.
-    pub fn step(&mut self, pos: Position, dt: SimDuration, arena: &Arena, rng: &mut StdRng) -> Position {
+    pub fn step(
+        &mut self,
+        pos: Position,
+        dt: SimDuration,
+        arena: &Arena,
+        rng: &mut StdRng,
+    ) -> Position {
         match self.model.clone() {
             MobilityModel::Stationary => pos,
             MobilityModel::RandomWalk { speed } => {

@@ -235,13 +235,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut log = LogBuffer::default();
         let mut commands = Vec::new();
-        let mut ctx = Context::new(
-            NodeId(0),
-            SimTime::from_secs(5),
-            &mut rng,
-            &mut log,
-            &mut commands,
-        );
+        let mut ctx =
+            Context::new(NodeId(0), SimTime::from_secs(5), &mut rng, &mut log, &mut commands);
         assert_eq!(ctx.id(), NodeId(0));
         assert_eq!(ctx.now(), SimTime::from_secs(5));
         ctx.broadcast(Bytes::from_static(b"a"));
@@ -252,10 +247,7 @@ mod tests {
         assert_eq!(commands.len(), 4);
         assert!(matches!(commands[0], Command::Broadcast { .. }));
         assert!(matches!(commands[1], Command::Unicast { to: NodeId(1), .. }));
-        assert!(matches!(
-            commands[2],
-            Command::SetTimer { token: TimerToken(9), .. }
-        ));
+        assert!(matches!(commands[2], Command::SetTimer { token: TimerToken(9), .. }));
         assert!(matches!(commands[3], Command::Halt));
         assert_eq!(log.len(), 1);
         assert_eq!(log.entries()[0].0, SimTime::from_secs(5));

@@ -254,9 +254,8 @@ mod tests {
         let mut cfg = RadioConfig::unit_disk(100.0);
         cfg.jitter = SimDuration::ZERO;
         let mut r = rng();
-        let d = cfg
-            .sample_delivery(Position::new(0.0, 0.0), Position::new(1.0, 0.0), &mut r)
-            .unwrap();
+        let d =
+            cfg.sample_delivery(Position::new(0.0, 0.0), Position::new(1.0, 0.0), &mut r).unwrap();
         assert_eq!(d, cfg.base_delay);
     }
 }

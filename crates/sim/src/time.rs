@@ -201,10 +201,7 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
         assert_eq!(t, SimTime::from_millis(1500));
-        assert_eq!(
-            t.saturating_since(SimTime::from_secs(1)),
-            SimDuration::from_millis(500)
-        );
+        assert_eq!(t.saturating_since(SimTime::from_secs(1)), SimDuration::from_millis(500));
         // saturating: asking for elapsed time since the future yields zero
         assert_eq!(t.saturating_since(SimTime::from_secs(10)), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs(4) / 2, SimDuration::from_secs(2));

@@ -68,9 +68,7 @@ impl Answer {
 /// ]);
 /// assert!(detect < -0.8);
 /// ```
-pub fn detection_value(
-    answers: impl IntoIterator<Item = (TrustValue, Answer)>,
-) -> f64 {
+pub fn detection_value(answers: impl IntoIterator<Item = (TrustValue, Answer)>) -> f64 {
     let mut num = 0.0;
     let mut denom = 0.0;
     for (trust, answer) in answers {
@@ -109,11 +107,7 @@ pub fn weighted_evidence_samples(
 /// The unweighted counterpart of [`weighted_evidence_samples`] (for the
 /// trust-weighting ablation): the raw evidences of answering witnesses.
 pub fn answered_samples(answers: impl IntoIterator<Item = Answer>) -> Vec<f64> {
-    answers
-        .into_iter()
-        .filter(|a| *a != Answer::NoAnswer)
-        .map(|a| a.as_f64())
-        .collect()
+    answers.into_iter().filter(|a| *a != Answer::NoAnswer).map(|a| a.as_f64()).collect()
 }
 
 /// Like [`detection_value`] but *without* trust weighting — every witness
@@ -227,11 +221,11 @@ mod tests {
     #[test]
     fn weighted_samples_drop_silent_and_distrusted() {
         let samples = weighted_evidence_samples([
-            (TrustValue::new(0.8), Answer::Deny),      // in: -0.8
-            (TrustValue::new(0.5), Answer::NoAnswer),  // out: silent
-            (TrustValue::new(-0.3), Answer::Confirm),  // out: distrusted
-            (TrustValue::new(0.0), Answer::Confirm),   // out: zero weight
-            (TrustValue::new(0.2), Answer::Confirm),   // in: +0.2
+            (TrustValue::new(0.8), Answer::Deny),     // in: -0.8
+            (TrustValue::new(0.5), Answer::NoAnswer), // out: silent
+            (TrustValue::new(-0.3), Answer::Confirm), // out: distrusted
+            (TrustValue::new(0.0), Answer::Confirm),  // out: zero weight
+            (TrustValue::new(0.2), Answer::Confirm),  // in: +0.2
         ]);
         assert_eq!(samples, vec![-0.8, 0.2]);
     }

@@ -94,9 +94,7 @@ mod tests {
             t = up.step(t, &[EvidenceKind::NormalRelaying]);
         }
         assert!((t.get() - TrustValue::DEFAULT.get()).abs() < 1e-6, "t = {t}");
-        assert!(
-            (up.fixed_point(&[EvidenceKind::NormalRelaying]).get() - 0.4).abs() < 1e-12
-        );
+        assert!((up.fixed_point(&[EvidenceKind::NormalRelaying]).get() - 0.4).abs() < 1e-12);
     }
 
     #[test]
@@ -132,10 +130,8 @@ mod tests {
     #[test]
     fn clamping_applies() {
         let up = TrustUpdate::default();
-        let t = up.step(
-            TrustValue::MIN,
-            &[EvidenceKind::ForgedRouting, EvidenceKind::FalseTestimony],
-        );
+        let t =
+            up.step(TrustValue::MIN, &[EvidenceKind::ForgedRouting, EvidenceKind::FalseTestimony]);
         assert_eq!(t, TrustValue::MIN);
         let t = up.step(TrustValue::MAX, &[EvidenceKind::TruthfulTestimony; 20]);
         assert_eq!(t, TrustValue::MAX);

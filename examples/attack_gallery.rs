@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --example attack_gallery`
 
-use trustlink_attacks::prelude::*;
 use trustlink_attacks::drop::DropMode;
+use trustlink_attacks::prelude::*;
 use trustlink_olsr::prelude::*;
 use trustlink_sim::prelude::*;
 
@@ -39,7 +39,10 @@ fn main() {
         sim.run_for(SimDuration::from_secs(10));
         let victim = sim.app_as::<OlsrNode>(NodeId(0)).unwrap();
         println!("victim's MPR set after the phantom claim: {:?}", victim.mpr_set());
-        println!("victim routes to the phantom: {:?}\n", victim.routing_table().route_to(NodeId(77)));
+        println!(
+            "victim routes to the phantom: {:?}\n",
+            victim.routing_table().route_to(NodeId(77))
+        );
     }
 
     println!("=== 2. Black hole (drop attack) ===");
@@ -87,11 +90,8 @@ fn main() {
         sim.run_for(SimDuration::from_secs(10));
         let victim_rx = sim.stats().node(NodeId(2)).received;
         println!("frames received by one victim in 10 s: {victim_rx}");
-        let spoofed = sim
-            .log(NodeId(2))
-            .lines()
-            .filter(|l| l.starts_with("TC_RX orig=N42"))
-            .count();
+        let spoofed =
+            sim.log(NodeId(2)).lines().filter(|l| l.starts_with("TC_RX orig=N42")).count();
         println!("forged TCs attributed to the masqueraded N42: {spoofed}\n");
     }
 
@@ -123,9 +123,7 @@ fn main() {
         let far = sim.app_as::<OlsrNode>(NodeId(3)).unwrap();
         println!(
             "node 5 km away believes N0 is nearby: 2-hop view contains N0 = {}",
-            far.two_hop_set()
-                .two_hop_addrs(sim.now(), NodeId(3), &[])
-                .contains(&NodeId(0))
+            far.two_hop_set().two_hop_addrs(sim.now(), NodeId(3), &[]).contains(&NodeId(0))
         );
         let endpoint = sim.app_as::<WormholeEndpoint>(NodeId(1)).unwrap();
         println!("frames tunnelled out of region A: {}\n", endpoint.tunneled_out());

@@ -23,8 +23,7 @@ fn main() {
     let trace = RoundEngine::new(config).run(25);
 
     println!("\nround   Detect(A,I)   margin   verdict");
-    for (i, ((d, m), v)) in
-        trace.detect.iter().zip(&trace.margins).zip(&trace.verdicts).enumerate()
+    for (i, ((d, m), v)) in trace.detect.iter().zip(&trace.margins).zip(&trace.verdicts).enumerate()
     {
         println!("{:>5}   {:>+10.3}   {:>6.3}   {}", i + 1, d, m, v);
     }

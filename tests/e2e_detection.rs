@@ -63,9 +63,7 @@ fn existing_non_neighbor_claim_detected() {
         .detector(fast_detector())
         .attacker(
             0,
-            LinkSpoofing::permanent(SpoofVariant::AdvertiseExisting {
-                victims: vec![NodeId(8)],
-            }),
+            LinkSpoofing::permanent(SpoofVariant::AdvertiseExisting { victims: vec![NodeId(8)] }),
         )
         .duration(SimDuration::from_secs(240))
         .run();
@@ -103,10 +101,7 @@ fn liars_delay_but_do_not_prevent_detection() {
     };
     let clean = first_with(&[]);
     let with_liars = first_with(&[1, 3, 5]);
-    assert!(
-        with_liars >= clean,
-        "liars should not accelerate detection: {clean} -> {with_liars}"
-    );
+    assert!(with_liars >= clean, "liars should not accelerate detection: {clean} -> {with_liars}");
 }
 
 #[test]
@@ -117,11 +112,7 @@ fn benign_network_generates_no_convictions() {
             .detector(fast_detector())
             .duration(SimDuration::from_secs(90))
             .run();
-        assert!(
-            report.false_positives().is_empty(),
-            "seed {seed}: {:?}",
-            report.false_positives()
-        );
+        assert!(report.false_positives().is_empty(), "seed {seed}: {:?}", report.false_positives());
     }
 }
 
@@ -149,10 +140,8 @@ fn attacker_trust_collapses_at_observers() {
     // attacker afterwards (ForgedRouting evidence).
     let mut checked = 0;
     for (observer, _) in report.convictions_of(NodeId(4)) {
-        let d = report
-            .sim
-            .app_as::<trustlink_core::DetectorNode>(*observer)
-            .expect("honest observer");
+        let d =
+            report.sim.app_as::<trustlink_core::DetectorNode>(*observer).expect("honest observer");
         assert!(
             d.trust_of(NodeId(4)).get() < 0.0,
             "{observer} trusts the convicted attacker at {}",
@@ -243,10 +232,7 @@ fn gossip_propagates_distrust_to_non_witnesses() {
         };
         assert!(d.recommender_count() > 0, "{id} received no recommendations");
         let indirect = d.indirect_trust_of(NodeId(4));
-        assert!(
-            indirect.get() < 0.0,
-            "{id}: indirect trust in the attacker is {indirect}"
-        );
+        assert!(indirect.get() < 0.0, "{id}: indirect trust in the attacker is {indirect}");
         indirect_checked += 1;
     }
     assert!(indirect_checked >= 4);

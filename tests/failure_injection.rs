@@ -41,9 +41,7 @@ fn detection_survives_ten_percent_frame_loss() {
 fn detection_survives_collision_window() {
     let report = ScenarioBuilder::new(302, 9)
         .topology(Topology::Grid { cols: 3, spacing: 100.0 })
-        .radio(
-            RadioConfig::unit_disk(150.0).with_collisions(SimDuration::from_micros(300)),
-        )
+        .radio(RadioConfig::unit_disk(150.0).with_collisions(SimDuration::from_micros(300)))
         .detector(fast_detector())
         .attacker(4, spoof(55))
         .duration(SimDuration::from_secs(180))
@@ -113,11 +111,7 @@ fn dead_witnesses_do_not_block_detection() {
     for (i, p) in positions.iter().enumerate() {
         if i == 4 {
             sim.add_node(
-                Box::new(DetectorNode::with_hooks(
-                    OlsrConfig::fast(),
-                    fast_detector(),
-                    spoof(55),
-                )),
+                Box::new(DetectorNode::with_hooks(OlsrConfig::fast(), fast_detector(), spoof(55))),
                 *p,
             );
         } else {
@@ -130,9 +124,7 @@ fn dead_witnesses_do_not_block_detection() {
     sim.kill(NodeId(3));
     sim.run_for(SimDuration::from_secs(165));
     let convicted = sim.node_ids().collect::<Vec<_>>().into_iter().any(|id| {
-        sim.app_as::<DetectorNode>(id)
-            .map(|d| d.condemned().contains(&NodeId(4)))
-            .unwrap_or(false)
+        sim.app_as::<DetectorNode>(id).map(|d| d.condemned().contains(&NodeId(4))).unwrap_or(false)
     });
     assert!(convicted, "two dead witnesses should not block detection");
 }
@@ -151,10 +143,8 @@ fn partitioned_network_cannot_convict_across_the_cut() {
     // verify reachability-derived sanity — verdicts only concern nodes the
     // observer actually knows.
     for (observer, record) in &report.verdicts {
-        let d = report
-            .sim
-            .app_as::<trustlink_core::DetectorNode>(*observer)
-            .expect("honest detector");
+        let d =
+            report.sim.app_as::<trustlink_core::DetectorNode>(*observer).expect("honest detector");
         assert!(
             d.extractor().known_nodes().contains(&record.suspect),
             "{observer} judged unknown node {}",
@@ -215,4 +205,3 @@ fn mobility_churn_generates_no_false_convictions() {
         );
     }
 }
-

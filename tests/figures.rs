@@ -91,10 +91,7 @@ fn fig2_recovery_from_negative_is_slow() {
     let well_behaved = &fig.series[1];
     assert!(former_liar.label.starts_with("former liar"));
     let liar_last = former_liar.last_y().unwrap();
-    assert!(
-        liar_last < 0.35,
-        "former liar recovered too fast: {liar_last} within 25 rounds"
-    );
+    assert!(liar_last < 0.35, "former liar recovered too fast: {liar_last} within 25 rounds");
     // ... but it is recovering (monotone increase).
     assert!(liar_last > -0.9);
     // While the high-trust node has already converged to the default.
@@ -130,8 +127,7 @@ fn fig3_more_liars_slower_descent() {
     };
     let fig = fig3_liar_impact(cfg, &paper_liar_counts(), 25);
     for round in 2..=4 {
-        let values: Vec<f64> =
-            fig.series.iter().map(|s| s.y_at_round(round).unwrap()).collect();
+        let values: Vec<f64> = fig.series.iter().map(|s| s.y_at_round(round).unwrap()).collect();
         for w in values.windows(2) {
             assert!(
                 w[0] <= w[1] + 1e-9,
@@ -159,11 +155,7 @@ fn fig3_converges_near_minus_point_eight() {
     let fig = fig3_liar_impact(RoundConfig::default(), &paper_liar_counts(), 25);
     for s in &fig.series {
         let last = s.last_y().unwrap();
-        assert!(
-            (-1.0..=-0.7).contains(&last),
-            "{} converged to {last}, want ≈ -0.8",
-            s.label
-        );
+        assert!((-1.0..=-0.7).contains(&last), "{} converged to {last}, want ≈ -0.8", s.label);
     }
 }
 

@@ -1,0 +1,8 @@
+//! Support library for the workspace-level integration suites.
+//!
+//! The real content of this package is its test targets (the files next
+//! to this one) and the examples under `../examples`; this library only
+//! hosts helpers shared between suites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -180,9 +180,7 @@ fn tc_redundancy_enriches_topology() {
             .build();
         for p in &positions {
             sim.add_node(
-                Box::new(OlsrNode::new(
-                    OlsrConfig::fast().with_tc_redundancy(redundancy),
-                )),
+                Box::new(OlsrNode::new(OlsrConfig::fast().with_tc_redundancy(redundancy))),
                 *p,
             );
         }

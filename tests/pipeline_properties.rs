@@ -69,9 +69,8 @@ fn log_record() -> impl Strategy<Value = LogRecord> {
         node_id().prop_map(|addr| LogRecord::NeighborLost { addr }),
         (node_id(), node_id()).prop_map(|(via, addr)| LogRecord::TwoHopAdded { via, addr }),
         node_list().prop_map(|mprs| LogRecord::MprSet { mprs }),
-        (node_id(), node_id(), any::<u32>()).prop_map(|(dest, next_hop, hops)| {
-            LogRecord::RouteAdded { dest, next_hop, hops }
-        }),
+        (node_id(), node_id(), any::<u32>())
+            .prop_map(|(dest, next_hop, hops)| { LogRecord::RouteAdded { dest, next_hop, hops } }),
         (node_id(), message_kind(), any::<u16>(), node_id()).prop_map(
             |(originator, kind, seq, from)| LogRecord::Forwarded { originator, kind, seq, from }
         ),
@@ -100,10 +99,7 @@ fn hello_body() -> impl Strategy<Value = HelloMessage> {
             groups: raw_groups
                 .into_iter()
                 .map(|(lt, nt, addrs)| LinkGroup {
-                    code: LinkCode::new(
-                        LinkType::from_bits(lt),
-                        NeighborType::from_bits(nt),
-                    ),
+                    code: LinkCode::new(LinkType::from_bits(lt), NeighborType::from_bits(nt)),
                     addrs,
                 })
                 .collect(),

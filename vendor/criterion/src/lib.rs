@@ -1,0 +1,173 @@
+//! A small, self-contained stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate, vendored so the
+//! workspace builds without network access.
+//!
+//! It keeps criterion's authoring surface — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros, `b.iter(..)` — and replaces the statistics
+//! engine with a simple best-of-samples wall-clock timer printed to
+//! stdout. Benches compile and run with `harness = false` exactly as with
+//! the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+}
+
+/// A named group of benchmarks; see [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.c.bench_function(full, f);
+        self
+    }
+
+    /// Override the sample count for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(1);
+        self
+    }
+
+    /// Finish the group (a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures; handed to the function passed to `bench_function`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one sample of `f` run in a loop.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One warm-up call, then time a short batch.
+        black_box(f());
+        let iters = 16u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed() / iters);
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<44} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let best = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        println!("{id:<44} best {best:>12.3?}   median {median:>12.3?}");
+        self.samples.clear();
+    }
+}
+
+/// Declare a group function that runs each target against one
+/// [`Criterion`]. Both the flat and the `name/config/targets` forms of
+/// the real macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        #[doc = concat!("Run the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the `main` function of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = Criterion::default().sample_size(2);
+        targets = target
+    }
+
+    #[test]
+    fn group_runs_all_targets() {
+        smoke();
+    }
+}

@@ -1,0 +1,196 @@
+//! A small, self-contained stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate, vendored so the
+//! workspace builds without network access.
+//!
+//! It keeps proptest's *model* — strategies compose into generators, the
+//! [`proptest!`] macro turns `fn f(x in strategy)` into a `#[test]` that
+//! runs many random cases, `prop_assert!`/`prop_assume!` report failures
+//! with the generated inputs — but drops shrinking and persistence files.
+//! Failures print the exact inputs and the deterministic per-test seed, so
+//! a failing case is reproducible by construction rather than by replay
+//! file.
+//!
+//! Case counts are bounded for CI via the `PROPTEST_CASES` environment
+//! variable (default [`test_runner::DEFAULT_CASES`]); the RNG seed can be
+//! pinned with `PROPTEST_SEED`.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     // Under `cargo test` this carries `#[test]`.
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every property-test file starts with.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Turn `fn name(arg in strategy, ...) { body }` items into `#[test]`
+/// functions that run [`test_runner::cases`] random cases each.
+///
+/// An optional leading `#![proptest_config(expr)]` overrides the case
+/// count for the whole block via [`test_runner::ProptestConfig::cases`].
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = ::core::option::Option::Some(
+                    $crate::test_runner::ProptestConfig::from($config).cases,
+                );
+                $crate::__proptest_body!(__cases, $name, ($($arg in $strat),*), $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = ::core::option::Option::None;
+                $crate::__proptest_body!(__cases, $name, ($($arg in $strat),*), $body);
+            }
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cases:expr, $name:ident, ($($arg:ident in $strat:expr),*), $body:block) => {
+        $crate::test_runner::run_cases($cases, stringify!($name), |__rng| {
+            $(
+                let $arg = $crate::strategy::Strategy::new_value(&($strat), __rng);
+            )*
+            let __inputs = {
+                let mut __s = ::std::string::String::new();
+                $(
+                    __s.push_str(&::std::format!(
+                        "{} = {:?}; ",
+                        stringify!($arg),
+                        &$arg
+                    ));
+                )*
+                __s
+            };
+            let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+            (__outcome, __inputs)
+        });
+    };
+}
+
+/// Fail the current case (with the generated inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// [`prop_assert!`] for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// [`prop_assert!`] for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Discard the current case (without failing) unless `cond` holds.
+///
+/// Rejected cases do not count toward the case target; a test that
+/// rejects nearly everything eventually panics so the filter is noticed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

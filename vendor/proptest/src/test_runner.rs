@@ -1,0 +1,187 @@
+//! The case-running loop behind the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Default number of cases per property when `PROPTEST_CASES` is unset.
+///
+/// Deliberately modest so the full pyramid stays fast in CI; raise it
+/// locally (`PROPTEST_CASES=1024 cargo test`) for deeper soak runs.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// The deterministic RNG handed to strategies: the vendored
+/// [`rand::rngs::StdRng`] stream, seeded per-test from the test's name —
+/// or from `PROPTEST_SEED` verbatim when set, so a failure's printed seed
+/// replays the exact stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed deterministically from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform index in `[0, n)`; panics when `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.below_u128(n as u128) as usize
+    }
+
+    /// A uniform value in `[0, n)` for spans up to `2^64`.
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        assert!(n > 0, "cannot sample below 0");
+        ((self.next_u64() as u128).wrapping_mul(n)) >> 64
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is violated; the whole test fails.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-block configuration, accepted by
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property in the block must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: cases() }
+    }
+}
+
+/// The number of cases to run per property: `PROPTEST_CASES` when set and
+/// parseable, [`DEFAULT_CASES`] otherwise.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_CASES)
+}
+
+fn base_seed(test_name: &str) -> u64 {
+    // A set PROPTEST_SEED is the seed, verbatim, for every test — which is
+    // exactly what a failure message prints, so replaying it reproduces the
+    // failing stream.
+    if let Some(seed) = std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()) {
+        return seed;
+    }
+    // FNV-1a over the test name keeps streams independent across tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: run `case` until `cases` inputs pass, panicking on
+/// the first failure with the generated inputs and the seed to replay it.
+pub fn run_cases<F>(cases_override: Option<u32>, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let target = cases_override.unwrap_or_else(cases).max(1);
+    let seed = base_seed(test_name);
+    let mut rng = TestRng::from_seed(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < target {
+        match case(&mut rng) {
+            (Ok(()), _) => passed += 1,
+            (Err(TestCaseError::Reject(why)), _) => {
+                rejected += 1;
+                if rejected > target.saturating_mul(16).max(256) {
+                    panic!(
+                        "property `{test_name}` rejected {rejected} cases \
+                         (last: {why}); the prop_assume! filter is too strict"
+                    );
+                }
+            }
+            (Err(TestCaseError::Fail(msg)), inputs) => {
+                panic!(
+                    "property `{test_name}` failed after {passed} passing case(s)\n\
+                     replay with: PROPTEST_SEED={seed} cargo test {test_name}\n\
+                     inputs: {inputs}\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_to_target() {
+        let mut runs = 0;
+        run_cases(Some(10), "always_ok", |_| {
+            runs += 1;
+            (Ok(()), String::new())
+        });
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_property_panics_with_inputs() {
+        run_cases(Some(10), "always_bad", |_| (Err(TestCaseError::fail("nope")), "x = 1".into()));
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_passes() {
+        let mut total = 0u32;
+        run_cases(Some(5), "half_rejected", |rng| {
+            total += 1;
+            if rng.next_u64() & 1 == 0 {
+                (Err(TestCaseError::reject("odd")), String::new())
+            } else {
+                (Ok(()), String::new())
+            }
+        });
+        assert!(total >= 5);
+    }
+
+    #[test]
+    fn streams_differ_by_test_name() {
+        let mut a = TestRng::from_seed(base_seed("a"));
+        let mut b = TestRng::from_seed(base_seed("b"));
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,271 @@
+//! A small, self-contained stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, vendored so the workspace builds without network access.
+//!
+//! It implements exactly the surface the trustlink crates use:
+//!
+//! - [`rngs::StdRng`] — a deterministic xoshiro256++ generator,
+//! - [`SeedableRng::seed_from_u64`] — SplitMix64 seed expansion,
+//! - [`RngExt::random_range`] / [`RngExt::random_bool`] — uniform sampling
+//!   over integer and float ranges, Bernoulli draws.
+//!
+//! Determinism is the point: the simulator requires that a run be a pure
+//! function of its seed, and this generator has no global state, no OS
+//! entropy and no platform dependence.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{RngExt, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.random_range(0..100u32), b.random_range(0..100u32));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The bare random-word source every generator provides.
+pub trait RngCore {
+    /// Produce the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produce the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically expand `state` into a full generator state.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic xoshiro256++ generator seeded via SplitMix64.
+    ///
+    /// Unlike the real `rand::rngs::StdRng` this is *stable across
+    /// versions*: the stream for a given seed never changes, which the
+    /// simulator's replay tests rely on.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                // Check before the u128 cast: an inverted range would wrap
+                // into a huge span and silently pass a `span > 0` check.
+                assert!(
+                    if inclusive { hi_w >= lo_w } else { hi_w > lo_w },
+                    "cannot sample from an empty range"
+                );
+                let span = (hi_w - lo_w + if inclusive { 1 } else { 0 }) as u128;
+                // Multiply-shift bounded sampling; bias is < 2^-64 per draw.
+                let draw = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (lo_w + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "cannot sample from an empty range"
+                );
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                let v = lo + unit * (hi - lo);
+                if inclusive {
+                    if v > hi { hi } else { v }
+                } else if v >= hi {
+                    // FP rounding of lo + unit*(hi-lo) can land exactly on
+                    // `hi`; an exclusive range must stay below it.
+                    <$t>::max(lo, hi.next_down())
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// A range argument accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand`'s `Rng` extension trait.
+pub trait RngExt: RngCore {
+    /// Draw a value uniformly from `range`.
+    ///
+    /// Panics when the range is empty, like the real crate.
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.random_range(5..10u32);
+            assert!((5..10).contains(&v));
+            let w = rng.random_range(-2.5f64..=2.5);
+            assert!((-2.5..=2.5).contains(&w));
+            let x = rng.random_range(7..=7usize);
+            assert_eq!(x, 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    // The reversed range is the point of the test.
+    #[allow(clippy::reversed_empty_ranges)]
+    fn inverted_int_range_panics() {
+        let _ = StdRng::seed_from_u64(1).random_range(10..5u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_exclusive_float_range_panics() {
+        let _ = StdRng::seed_from_u64(1).random_range(1.0f64..1.0);
+    }
+
+    #[test]
+    fn bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+}
