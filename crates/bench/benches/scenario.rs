@@ -4,11 +4,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use trustlink_attacks::prelude::*;
 use trustlink_core::prelude::*;
 use trustlink_core::DetectorConfig;
 use trustlink_ids::investigation::InvestigationConfig;
 use trustlink_olsr::{OlsrConfig, OlsrNode};
+use trustlink_sim::topologies;
 
 fn bench_olsr_convergence(c: &mut Criterion) {
     c.bench_function("olsr_grid9_converge_15s", |b| {
@@ -55,6 +58,44 @@ fn bench_detection_scenario(c: &mut Criterion) {
     });
 }
 
+/// Large-network OLSR convergence on the spatial-grid radio: random
+/// geometric placements at mean degree 10, HELLO-driven neighborhood
+/// convergence (TCs mostly silenced — full TC flooding is O(n²) messages
+/// by design and would measure the protocol, not the simulator).
+fn bench_olsr_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("olsr_scale");
+    group.sample_size(2);
+    for n in [256usize, 1024, 4096] {
+        let range = 150.0;
+        let arena = topologies::arena_for_mean_degree(n, range, 10.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let positions = topologies::random_geometric(n, &arena, &mut rng);
+        let cfg = OlsrConfig {
+            // TC timers start at a random offset inside the interval, so
+            // the interval must dwarf the measured window to keep the
+            // O(n²) flood out of it.
+            tc_interval: SimDuration::from_secs(600),
+            refresh_interval: SimDuration::from_secs(1),
+            ..OlsrConfig::fast()
+        };
+        group.bench_function(format!("{n}_nodes_grid_converge_2s"), |b| {
+            b.iter(|| {
+                let mut sim = SimulatorBuilder::new(7)
+                    .arena(arena)
+                    .radio(RadioConfig::unit_disk(range))
+                    .scan_mode(ScanMode::Grid)
+                    .build();
+                for &p in &positions {
+                    sim.add_node(Box::new(OlsrNode::new(cfg.clone())), p);
+                }
+                sim.run_for(SimDuration::from_secs(2));
+                black_box(sim.stats().total_sent())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_round_engine_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("round_engine_scaling");
     for n in [16usize, 32, 64] {
@@ -71,6 +112,7 @@ fn bench_round_engine_scaling(c: &mut Criterion) {
 criterion_group! {
     name = scenario;
     config = Criterion::default().sample_size(10);
-    targets = bench_olsr_convergence, bench_detection_scenario, bench_round_engine_scaling
+    targets = bench_olsr_convergence, bench_detection_scenario, bench_olsr_scale,
+              bench_round_engine_scaling
 }
 criterion_main!(scenario);

@@ -15,7 +15,8 @@ use trustlink_attacks::liar::LiarPolicy;
 use trustlink_attacks::spoof::LinkSpoofing;
 use trustlink_olsr::types::OlsrConfig;
 use trustlink_sim::{
-    topologies, Arena, NodeId, Position, RadioConfig, SimDuration, Simulator, SimulatorBuilder,
+    topologies, Arena, NodeId, Position, RadioConfig, ScanMode, SimDuration, Simulator,
+    SimulatorBuilder,
 };
 
 use crate::detector::{DetectorConfig, DetectorNode, VerdictRecord};
@@ -47,6 +48,16 @@ pub enum Topology {
         /// Arena width and height in metres.
         arena: (f64, f64),
     },
+    /// Uniformly random positions with no connectivity re-sampling — the
+    /// placement for large (10³–10⁴ node) scenarios, where the O(n²)
+    /// connectivity check is unaffordable. The arena is sized for the
+    /// requested mean 1-hop degree at the radio's maximum range (see
+    /// [`topologies::arena_for_mean_degree`]), which makes connectivity
+    /// overwhelmingly likely without ever checking it.
+    RandomGeometric {
+        /// Target mean number of 1-hop neighbors per node.
+        mean_degree: f64,
+    },
 }
 
 /// Builder for a packet-level scenario.
@@ -61,6 +72,8 @@ pub struct ScenarioBuilder {
     attackers: BTreeMap<usize, LinkSpoofing>,
     liars: BTreeMap<usize, LiarPolicy>,
     duration: SimDuration,
+    scan_mode: ScanMode,
+    arena_override: Option<(f64, f64)>,
 }
 
 impl ScenarioBuilder {
@@ -76,6 +89,8 @@ impl ScenarioBuilder {
             attackers: BTreeMap::new(),
             liars: BTreeMap::new(),
             duration: SimDuration::from_secs(60),
+            scan_mode: ScanMode::default(),
+            arena_override: None,
         }
     }
 
@@ -121,15 +136,52 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the radio's receiver-scan mode ([`ScanMode::Grid`] by
+    /// default). [`ScanMode::Linear`] is the O(n) reference path kept for
+    /// equivalence testing and baseline benchmarking; both replay
+    /// byte-identically per seed.
+    pub fn scan_mode(mut self, mode: ScanMode) -> Self {
+        self.scan_mode = mode;
+        self
+    }
+
+    /// Overrides the simulation arena dimensions.
+    ///
+    /// By default the arena is derived from the topology (random
+    /// placements use their own sampling arena; fixed placements get a
+    /// generous fixed arena). Large topologies should size the arena —
+    /// it bounds the spatial index — to the region the nodes actually
+    /// occupy.
+    pub fn arena_size(mut self, width: f64, height: f64) -> Self {
+        self.arena_override = Some((width, height));
+        self
+    }
+
+    fn sampling_arena(&self) -> Option<Arena> {
+        match &self.topology {
+            Topology::RandomConnected { arena } => Some(Arena::new(arena.0, arena.1)),
+            Topology::RandomGeometric { mean_degree } => Some(topologies::arena_for_mean_degree(
+                self.n,
+                self.radio.propagation.max_range(),
+                *mean_degree,
+            )),
+            _ => None,
+        }
+    }
+
     fn positions(&self, rng: &mut StdRng) -> Vec<Position> {
         match &self.topology {
             Topology::Line { spacing } => topologies::line(self.n, *spacing),
             Topology::Grid { cols, spacing } => topologies::grid(self.n, *cols, *spacing),
             Topology::Ring { radius } => topologies::ring(self.n, *radius),
-            Topology::RandomConnected { arena } => {
-                let arena = Arena::new(arena.0, arena.1);
+            Topology::RandomConnected { .. } => {
+                let arena = self.sampling_arena().expect("random topology has an arena");
                 let range = self.radio.propagation.max_range();
                 topologies::random_connected(self.n, &arena, range, rng, 10_000)
+            }
+            Topology::RandomGeometric { .. } => {
+                let arena = self.sampling_arena().expect("random topology has an arena");
+                topologies::random_geometric(self.n, &arena, rng)
             }
         }
     }
@@ -138,12 +190,15 @@ impl ScenarioBuilder {
     pub fn run(self) -> ScenarioReport {
         let mut placement_rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x9E37));
         let positions = self.positions(&mut placement_rng);
-        let arena = match &self.topology {
-            Topology::RandomConnected { arena } => Arena::new(arena.0, arena.1),
-            _ => Arena::new(100_000.0, 100_000.0),
+        let arena = match self.arena_override {
+            Some((w, h)) => Arena::new(w, h),
+            None => self.sampling_arena().unwrap_or_else(|| Arena::new(100_000.0, 100_000.0)),
         };
-        let mut sim =
-            SimulatorBuilder::new(self.seed).radio(self.radio.clone()).arena(arena).build();
+        let mut sim = SimulatorBuilder::new(self.seed)
+            .radio(self.radio.clone())
+            .arena(arena)
+            .scan_mode(self.scan_mode)
+            .build();
         for (i, pos) in positions.iter().enumerate() {
             if let Some(spoofing) = self.attackers.get(&i) {
                 // Attackers run the detector stack too (every node hosts the
@@ -277,6 +332,40 @@ mod tests {
             .run();
         assert!(report.false_positives().is_empty(), "{:?}", report.false_positives());
         assert!(report.verdicts.iter().all(|(_, r)| r.verdict != Verdict::Intruder));
+    }
+
+    #[test]
+    fn random_geometric_scenario_runs_at_scale() {
+        let report = ScenarioBuilder::new(21, 64)
+            .topology(Topology::RandomGeometric { mean_degree: 10.0 })
+            .detector(test_detector())
+            .duration(SimDuration::from_secs(12))
+            .run();
+        assert_eq!(report.sim.node_count(), 64);
+        assert!(report.total_sent() > 0, "a 64-node network must produce traffic");
+        // The derived arena must actually contain every node.
+        let ids: Vec<NodeId> = report.sim.node_ids().collect();
+        assert!(ids.iter().all(|&id| {
+            let p = report.sim.position(id);
+            p.x.is_finite() && p.y.is_finite()
+        }));
+    }
+
+    #[test]
+    fn scan_modes_share_one_determinism_contract() {
+        let run = |mode: ScanMode| {
+            ScenarioBuilder::new(33, 9)
+                .topology(Topology::Grid { cols: 3, spacing: 100.0 })
+                .detector(test_detector())
+                .scan_mode(mode)
+                .duration(SimDuration::from_secs(20))
+                .run()
+        };
+        let grid = run(ScanMode::Grid);
+        let linear = run(ScanMode::Linear);
+        assert_eq!(grid.verdicts, linear.verdicts);
+        assert_eq!(grid.total_sent(), linear.total_sent());
+        assert_eq!(grid.total_bytes(), linear.total_bytes());
     }
 
     #[test]

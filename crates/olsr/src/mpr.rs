@@ -14,7 +14,7 @@
 //!    highest willingness, breaking ties by reachability (number of still
 //!    uncovered 2-hop neighbors it covers) and then by degree.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use trustlink_sim::NodeId;
 
@@ -36,6 +36,66 @@ pub struct MprCandidate {
     pub degree: usize,
 }
 
+/// Reusable scratch buffers for [`select_mprs_with`].
+///
+/// MPR selection runs after every received HELLO; the original
+/// implementation rebuilt several `BTreeMap`/`BTreeSet` structures per
+/// call. A node-owned workspace keeps the flat buffers the selection
+/// actually needs, so steady-state recomputation allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MprWorkspace {
+    /// Deduplicated targets, ascending.
+    targets: Vec<NodeId>,
+    /// Parallel to `targets`: already covered by a selected MPR?
+    covered: Vec<bool>,
+    /// `(candidate, target)` coverage pairs, sorted and deduplicated —
+    /// duplicate candidate addresses merge, exactly like the map-of-sets
+    /// this replaces.
+    pairs: Vec<(NodeId, NodeId)>,
+    /// Parallel to `targets`: number of distinct candidates covering it.
+    cover_count: Vec<u32>,
+    /// Parallel to `targets`: one covering candidate (the sole one when
+    /// `cover_count == 1`).
+    sole_cover: Vec<NodeId>,
+}
+
+/// Inserts `addr` into the sorted set `out`; `true` if newly added.
+fn insert_sorted(out: &mut Vec<NodeId>, addr: NodeId) -> bool {
+    match out.binary_search(&addr) {
+        Ok(_) => false,
+        Err(at) => {
+            out.insert(at, addr);
+            true
+        }
+    }
+}
+
+impl MprWorkspace {
+    /// The coverage pairs of `addr`, as a sorted slice of the pair buffer.
+    fn pairs_of(&self, addr: NodeId) -> &[(NodeId, NodeId)] {
+        let lo = self.pairs.partition_point(|p| p.0 < addr);
+        let hi = self.pairs.partition_point(|p| p.0 <= addr);
+        &self.pairs[lo..hi]
+    }
+
+    /// Marks everything `addr` covers; returns how many targets became
+    /// newly covered.
+    fn mark_covered(&mut self, addr: NodeId) -> usize {
+        let lo = self.pairs.partition_point(|p| p.0 < addr);
+        let hi = self.pairs.partition_point(|p| p.0 <= addr);
+        let mut newly = 0;
+        for i in lo..hi {
+            let t = self.pairs[i].1;
+            let ti = self.targets.binary_search(&t).expect("pair target not in target set");
+            if !self.covered[ti] {
+                self.covered[ti] = true;
+                newly += 1;
+            }
+        }
+        newly
+    }
+}
+
 /// Computes the MPR set covering `two_hop_targets` using `candidates`
 /// (RFC 3626 §8.3.1 heuristic).
 ///
@@ -44,75 +104,100 @@ pub struct MprCandidate {
 /// [`Willingness::Never`] are never selected; 2-hop targets only reachable
 /// through such neighbors end up uncovered (as in the RFC).
 ///
-/// The result is sorted ascending.
+/// The result is sorted ascending. This is the convenience wrapper around
+/// [`select_mprs_with`], paying one workspace allocation per call.
 pub fn select_mprs(candidates: &[MprCandidate], two_hop_targets: &[NodeId]) -> Vec<NodeId> {
-    let mut mprs: BTreeSet<NodeId> = BTreeSet::new();
-    let targets: BTreeSet<NodeId> = two_hop_targets.iter().copied().collect();
-    if targets.is_empty() {
+    let mut ws = MprWorkspace::default();
+    let mut out = Vec::new();
+    select_mprs_with(&mut ws, candidates, two_hop_targets, &mut out);
+    out
+}
+
+/// Allocation-free form of [`select_mprs`]: scratch state lives in `ws`,
+/// the selected set (sorted ascending) is written into `out`. Results are
+/// identical to [`select_mprs`] for every input.
+pub fn select_mprs_with(
+    ws: &mut MprWorkspace,
+    candidates: &[MprCandidate],
+    two_hop_targets: &[NodeId],
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    ws.targets.clear();
+    ws.targets.extend_from_slice(two_hop_targets);
+    ws.targets.sort_unstable();
+    ws.targets.dedup();
+    if ws.targets.is_empty() {
         // Still honour WILL_ALWAYS neighbors (RFC step 1).
         for c in candidates {
             if c.willingness == Willingness::Always {
-                mprs.insert(c.addr);
+                insert_sorted(out, c.addr);
             }
         }
-        return mprs.into_iter().collect();
+        return;
     }
 
-    // Coverage map restricted to real targets and willing candidates.
-    // Duplicate candidate addresses (which a well-formed neighbor set never
-    // produces, but robustness demands) merge their coverage.
-    let mut coverage: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    // Coverage restricted to real targets and willing candidates.
+    ws.pairs.clear();
     for c in candidates {
         if c.willingness == Willingness::Never {
             continue;
         }
-        let entry = coverage.entry(c.addr).or_default();
-        entry.extend(c.covers.iter().copied().filter(|t| targets.contains(t)));
+        for &t in &c.covers {
+            if ws.targets.binary_search(&t).is_ok() {
+                ws.pairs.push((c.addr, t));
+            }
+        }
     }
+    ws.pairs.sort_unstable();
+    ws.pairs.dedup();
 
-    let mut uncovered: BTreeSet<NodeId> = targets.clone();
+    ws.covered.clear();
+    ws.covered.resize(ws.targets.len(), false);
+    let mut uncovered = ws.targets.len();
 
     // Step 1: WILL_ALWAYS neighbors are always MPRs.
     for c in candidates {
         if c.willingness == Willingness::Always {
-            mprs.insert(c.addr);
-            if let Some(cov) = coverage.get(&c.addr) {
-                for t in cov {
-                    uncovered.remove(t);
-                }
-            }
+            insert_sorted(out, c.addr);
+            uncovered -= ws.mark_covered(c.addr);
         }
     }
 
     // Step 2: neighbors that are the sole cover of some target.
-    let mut cover_count: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-    for (&cand, cov) in &coverage {
-        for &t in cov {
-            cover_count.entry(t).or_default().push(cand);
+    ws.cover_count.clear();
+    ws.cover_count.resize(ws.targets.len(), 0);
+    ws.sole_cover.clear();
+    ws.sole_cover.resize(ws.targets.len(), NodeId(0));
+    for &(cand, t) in &ws.pairs {
+        let ti = ws.targets.binary_search(&t).expect("pair target not in target set");
+        ws.cover_count[ti] += 1;
+        ws.sole_cover[ti] = cand;
+    }
+    for ti in 0..ws.targets.len() {
+        if !ws.covered[ti] && ws.cover_count[ti] == 1 {
+            insert_sorted(out, ws.sole_cover[ti]);
         }
     }
-    for (&target, covers) in &cover_count {
-        if uncovered.contains(&target) && covers.len() == 1 {
-            let only = covers[0];
-            mprs.insert(only);
-        }
-    }
-    for m in &mprs {
-        if let Some(cov) = coverage.get(m) {
-            for t in cov {
-                uncovered.remove(t);
-            }
-        }
+    for &m in out.iter() {
+        uncovered -= ws.mark_covered(m);
     }
 
     // Step 3: greedy by (willingness, reachability, degree, addr-for-determinism).
-    while !uncovered.is_empty() {
+    while uncovered > 0 {
         let mut best: Option<(Willingness, usize, usize, NodeId)> = None;
         for c in candidates {
-            if c.willingness == Willingness::Never || mprs.contains(&c.addr) {
+            if c.willingness == Willingness::Never || out.binary_search(&c.addr).is_ok() {
                 continue;
             }
-            let reach = coverage.get(&c.addr).map_or(0, |cov| cov.intersection(&uncovered).count());
+            let reach = ws
+                .pairs_of(c.addr)
+                .iter()
+                .filter(|(_, t)| {
+                    let ti = ws.targets.binary_search(t).expect("pair target not in target set");
+                    !ws.covered[ti]
+                })
+                .count();
             if reach == 0 {
                 continue;
             }
@@ -130,18 +215,12 @@ pub fn select_mprs(candidates: &[MprCandidate], two_hop_targets: &[NodeId]) -> V
         }
         match best {
             Some((_, _, _, addr)) => {
-                mprs.insert(addr);
-                if let Some(cov) = coverage.get(&addr) {
-                    for t in cov {
-                        uncovered.remove(t);
-                    }
-                }
+                insert_sorted(out, addr);
+                uncovered -= ws.mark_covered(addr);
             }
             None => break, // some targets are unreachable through willing neighbors
         }
     }
-
-    mprs.into_iter().collect()
 }
 
 /// Checks the MPR coverage invariant: every target reachable through some
@@ -298,6 +377,37 @@ mod tests {
                 uncovered_targets(&cands, &targets, &mprs).is_empty(),
                 "uncovered targets with candidates {cands:?}"
             );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_selection() {
+        // One workspace driven across heterogeneous inputs (including
+        // duplicate candidate addresses and shrinking target sets) must
+        // match a fresh `select_mprs` every time.
+        let cases: Vec<(Vec<MprCandidate>, Vec<NodeId>)> = vec![
+            (
+                vec![
+                    cand(1, Willingness::Default, &[10, 11]),
+                    cand(2, Willingness::Low, &[11, 12]),
+                    cand(3, Willingness::High, &[12, 13]),
+                    cand(4, Willingness::Always, &[13, 10]),
+                    cand(4, Willingness::Always, &[11]), // duplicate addr
+                ],
+                ids(&[10, 11, 12, 13, 13, 10]), // duplicated targets
+            ),
+            (vec![cand(9, Willingness::Always, &[])], ids(&[])),
+            (
+                vec![cand(1, Willingness::Never, &[20]), cand(2, Willingness::Default, &[20])],
+                ids(&[20, 21]),
+            ),
+            (vec![], ids(&[5])),
+        ];
+        let mut ws = MprWorkspace::default();
+        let mut out = Vec::new();
+        for (cands, targets) in &cases {
+            select_mprs_with(&mut ws, cands, targets, &mut out);
+            assert_eq!(out, select_mprs(cands, targets), "candidates {cands:?}");
         }
     }
 

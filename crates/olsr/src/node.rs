@@ -18,13 +18,14 @@ use crate::message::{
     DataMessage, HelloMessage, LinkCode, LinkGroup, LinkType, Message, MessageBody, MidMessage,
     NeighborType, Packet, TcMessage,
 };
-use crate::routing::RoutingTable;
+use crate::mpr::MprWorkspace;
+use crate::routing::{RoutingTable, RoutingWorkspace};
 use crate::state::{
     DuplicateSet, InterfaceAssociationSet, LinkSet, LinkStatus, LinkTuple, MprSelectorSet,
     NeighborSet, TopologySet, TwoHopSet,
 };
 use crate::types::{OlsrConfig, SequenceNumber, Willingness};
-use crate::wire::{decode_packet, encode_packet};
+use crate::wire::{decode_packet, encode_packet_into};
 
 /// Timer tokens used by the OLSR state machine. Wrappers layering their own
 /// timers on top must use tokens ≥ [`TIMER_USER_BASE`].
@@ -91,6 +92,14 @@ pub struct OlsrNode<H: OlsrHooks = NoHooks> {
     /// resulting trust is lower than a given threshold, then I is excluded
     /// from MPRs").
     excluded_mprs: std::collections::BTreeSet<NodeId>,
+    /// Reused wire-encode scratch: transmissions allocate only the frame.
+    wire_scratch: Vec<u8>,
+    /// Reused MPR-selection scratch (see [`MprWorkspace`]).
+    mpr_ws: MprWorkspace,
+    /// Reused MPR output buffer, swapped with `mprs` on change.
+    mpr_scratch: Vec<NodeId>,
+    /// Reused route-calculation scratch (see [`RoutingWorkspace`]).
+    route_ws: RoutingWorkspace,
 }
 
 impl OlsrNode<NoHooks> {
@@ -131,6 +140,10 @@ impl<H: OlsrHooks> OlsrNode<H> {
             started: false,
             mid_aliases: Vec::new(),
             excluded_mprs: std::collections::BTreeSet::new(),
+            wire_scratch: Vec::new(),
+            mpr_ws: MprWorkspace::default(),
+            mpr_scratch: Vec::new(),
+            route_ws: RoutingWorkspace::default(),
         }
     }
 
@@ -231,13 +244,13 @@ impl<H: OlsrHooks> OlsrNode<H> {
     fn transmit(&mut self, ctx: &mut Context<'_>, messages: Vec<Message>) {
         self.pkt_seq = self.pkt_seq.next();
         let packet = Packet { seq: self.pkt_seq, messages };
-        ctx.broadcast(encode_packet(&packet));
+        ctx.broadcast(encode_packet_into(&packet, &mut self.wire_scratch));
     }
 
     fn unicast(&mut self, ctx: &mut Context<'_>, to: NodeId, messages: Vec<Message>) {
         self.pkt_seq = self.pkt_seq.next();
         let packet = Packet { seq: self.pkt_seq, messages };
-        ctx.send(to, encode_packet(&packet));
+        ctx.send(to, encode_packet_into(&packet, &mut self.wire_scratch));
     }
 
     /// Builds the HELLO this node would send at `now` (before hooks).
@@ -414,16 +427,18 @@ impl<H: OlsrHooks> OlsrNode<H> {
         true
     }
 
-    fn next_hop_for(&self, dst: NodeId, avoid: Option<NodeId>, now: SimTime) -> Option<NodeId> {
+    fn next_hop_for(&mut self, dst: NodeId, avoid: Option<NodeId>, now: SimTime) -> Option<NodeId> {
         match avoid {
             None => self.routes.next_hop(dst),
             Some(avoided) => {
                 if dst == avoided {
                     return None;
                 }
-                RoutingTable::compute_avoiding(
+                let sym = self.links.symmetric_neighbors(now);
+                RoutingTable::compute_avoiding_with(
+                    &mut self.route_ws,
                     self.id,
-                    &self.links.symmetric_neighbors(now),
+                    &sym,
                     &self.two_hop,
                     &self.topology,
                     now,
@@ -746,14 +761,26 @@ impl<H: OlsrHooks> OlsrNode<H> {
                 crate::mpr::MprCandidate { addr: n, willingness, degree: covers.len(), covers }
             })
             .collect();
-        let new_mprs = crate::mpr::select_mprs(&candidates, &targets);
-        if new_mprs != self.mprs {
-            ctx.log(LogRecord::MprSet { mprs: new_mprs.clone() }.to_line());
-            self.mprs = new_mprs;
+        crate::mpr::select_mprs_with(
+            &mut self.mpr_ws,
+            &candidates,
+            &targets,
+            &mut self.mpr_scratch,
+        );
+        if self.mpr_scratch != self.mprs {
+            ctx.log(LogRecord::MprSet { mprs: self.mpr_scratch.clone() }.to_line());
+            std::mem::swap(&mut self.mprs, &mut self.mpr_scratch);
         }
 
         // Routing table.
-        let new_routes = RoutingTable::compute(self.id, &sym, &self.two_hop, &self.topology, now);
+        let new_routes = RoutingTable::compute_with(
+            &mut self.route_ws,
+            self.id,
+            &sym,
+            &self.two_hop,
+            &self.topology,
+            now,
+        );
         let diff = self.routes.diff(&new_routes);
         for r in &diff.added {
             ctx.log(
@@ -828,6 +855,7 @@ impl<H: OlsrHooks> std::fmt::Debug for OlsrNode<H> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::encode_packet;
     use trustlink_sim::{Position, RadioConfig, SimDuration, SimulatorBuilder};
 
     fn line_sim(n: usize, spacing: f64, range: f64, seed: u64) -> trustlink_sim::Simulator {
@@ -993,7 +1021,7 @@ mod tests {
         }
         sim.run_for(SimDuration::from_secs(20));
         let now = sim.now();
-        let a = sim.app_as::<OlsrNode>(NodeId(0)).unwrap();
+        let a = sim.app_as_mut::<OlsrNode>(NodeId(0)).unwrap();
         let sym = a.symmetric_neighbors(now);
         assert_eq!(sym, vec![NodeId(1), NodeId(2)]);
         let next = a.next_hop_for(NodeId(3), Some(NodeId(1)), now);

@@ -14,6 +14,58 @@ use trustlink_sim::{NodeId, SimTime};
 
 use crate::state::{TopologySet, TwoHopSet};
 
+/// Unvisited marker in the BFS distance array.
+const UNVISITED: u32 = u32::MAX;
+
+/// Reusable scratch state for [`RoutingTable::compute_with`].
+///
+/// Route calculation runs after every topology-changing packet; the
+/// original implementation rebuilt `BTreeMap` adjacency and BFS state per
+/// call. The workspace keeps dense per-node-id buffers (node ids are
+/// small `u16`s) that survive across recomputations, so the steady-state
+/// path allocates only the resulting table.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingWorkspace {
+    /// Adjacency lists indexed by node id; cleared (capacity kept) after
+    /// each computation.
+    adj: Vec<Vec<NodeId>>,
+    /// Ids whose adjacency list is non-empty, for cheap clearing.
+    touched: Vec<u16>,
+    /// BFS hop counts, [`UNVISITED`] when unreached.
+    dist: Vec<u32>,
+    /// First hop toward each reached id.
+    first_hop: Vec<NodeId>,
+    /// BFS frontier.
+    queue: VecDeque<NodeId>,
+}
+
+impl RoutingWorkspace {
+    /// Grows the dense buffers to cover `id`.
+    fn ensure(&mut self, id: NodeId) {
+        let need = id.index() + 1;
+        if self.adj.len() < need {
+            self.adj.resize_with(need, Vec::new);
+        }
+    }
+
+    fn push_edge(&mut self, from: NodeId, to: NodeId) {
+        self.ensure(from);
+        self.ensure(to);
+        let list = &mut self.adj[from.index()];
+        if list.is_empty() {
+            self.touched.push(from.0);
+        }
+        list.push(to);
+    }
+
+    fn reset_for_next_use(&mut self) {
+        for &t in &self.touched {
+            self.adj[t as usize].clear();
+        }
+        self.touched.clear();
+    }
+}
+
 /// One route entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Route {
@@ -56,28 +108,52 @@ impl RoutingTable {
         now: SimTime,
         avoid: Option<NodeId>,
     ) -> Self {
+        let mut ws = RoutingWorkspace::default();
+        Self::compute_avoiding_with(&mut ws, me, symmetric_neighbors, two_hop, topology, now, avoid)
+    }
+
+    /// [`RoutingTable::compute`] through a caller-owned workspace: every
+    /// scratch structure is reused, so the only allocation in steady
+    /// state is the returned table itself. Results are identical to
+    /// [`RoutingTable::compute`] for every input.
+    pub fn compute_with(
+        ws: &mut RoutingWorkspace,
+        me: NodeId,
+        symmetric_neighbors: &[NodeId],
+        two_hop: &TwoHopSet,
+        topology: &TopologySet,
+        now: SimTime,
+    ) -> Self {
+        Self::compute_avoiding_with(ws, me, symmetric_neighbors, two_hop, topology, now, None)
+    }
+
+    /// Workspace-reusing form of [`RoutingTable::compute_avoiding`].
+    pub fn compute_avoiding_with(
+        ws: &mut RoutingWorkspace,
+        me: NodeId,
+        symmetric_neighbors: &[NodeId],
+        two_hop: &TwoHopSet,
+        topology: &TopologySet,
+        now: SimTime,
+        avoid: Option<NodeId>,
+    ) -> Self {
         // Build adjacency: me -> neighbors, neighbor -> claimed 2-hop,
         // plus TC-learned topology edges. Edges *out of* `me` come only
         // from link sensing: a forged TC or HELLO mentioning this node must
         // never add a first hop that is not a verified symmetric neighbor
         // (the RFC's iterative calculation has the same property).
-        let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        ws.ensure(me);
         for &n in symmetric_neighbors {
             if Some(n) != avoid && n != me {
-                adj.entry(me).or_default().push(n);
+                ws.push_edge(me, n);
             }
         }
-        let mut push = |from: NodeId, to: NodeId| {
-            if from != me && to != me && from != to {
-                adj.entry(from).or_default().push(to);
-            }
-        };
         for pair in two_hop.iter(now) {
             if Some(pair.via) == avoid || Some(pair.two_hop) == avoid {
                 continue;
             }
-            push(pair.via, pair.two_hop);
-            push(pair.two_hop, pair.via);
+            Self::push_relayed(ws, me, pair.via, pair.two_hop);
+            Self::push_relayed(ws, me, pair.two_hop, pair.via);
         }
         for t in topology.iter(now) {
             if Some(t.last_hop) == avoid || Some(t.dest) == avoid {
@@ -86,36 +162,55 @@ impl RoutingTable {
             // TC edges are advertised by the MPR (last_hop); the RFC treats
             // them as usable in both directions for route calculation
             // because MPR selection requires a symmetric link.
-            push(t.last_hop, t.dest);
-            push(t.dest, t.last_hop);
+            Self::push_relayed(ws, me, t.last_hop, t.dest);
+            Self::push_relayed(ws, me, t.dest, t.last_hop);
         }
 
-        // BFS from me.
-        let mut dist: BTreeMap<NodeId, u32> = BTreeMap::new();
-        let mut first_hop: BTreeMap<NodeId, NodeId> = BTreeMap::new();
-        let mut queue = VecDeque::new();
-        dist.insert(me, 0);
-        queue.push_back(me);
-        while let Some(u) = queue.pop_front() {
-            let du = dist[&u];
-            let Some(nbrs) = adj.get(&u) else { continue };
-            for &v in nbrs {
-                if dist.contains_key(&v) {
+        // BFS from me over dense arrays (node ids are small integers).
+        let n = ws.adj.len();
+        ws.dist.clear();
+        ws.dist.resize(n, UNVISITED);
+        ws.first_hop.clear();
+        ws.first_hop.resize(n, me);
+        ws.queue.clear();
+        ws.dist[me.index()] = 0;
+        ws.queue.push_back(me);
+        while let Some(u) = ws.queue.pop_front() {
+            let du = ws.dist[u.index()];
+            // The adjacency list is moved out during the scan so the BFS
+            // state can be written; edges never target their own source,
+            // so the list cannot be observed empty mid-scan.
+            let nbrs = std::mem::take(&mut ws.adj[u.index()]);
+            for &v in &nbrs {
+                if ws.dist[v.index()] != UNVISITED {
                     continue;
                 }
-                dist.insert(v, du + 1);
-                let fh = if u == me { v } else { first_hop[&u] };
-                first_hop.insert(v, fh);
-                queue.push_back(v);
+                ws.dist[v.index()] = du + 1;
+                ws.first_hop[v.index()] = if u == me { v } else { ws.first_hop[u.index()] };
+                ws.queue.push_back(v);
             }
+            ws.adj[u.index()] = nbrs;
         }
 
-        let routes = dist
-            .into_iter()
-            .filter(|&(d, _)| d != me)
-            .map(|(d, hops)| (d, Route { dest: d, next_hop: first_hop[&d], hops }))
-            .collect();
+        let mut routes = BTreeMap::new();
+        for i in 0..n {
+            let hops = ws.dist[i];
+            let dest = NodeId(i as u16);
+            if hops == UNVISITED || dest == me {
+                continue;
+            }
+            routes.insert(dest, Route { dest, next_hop: ws.first_hop[i], hops });
+        }
+        ws.reset_for_next_use();
         RoutingTable { routes }
+    }
+
+    /// Adds a learned (non-link-sensed) edge, filtering anything touching
+    /// `me` or degenerate self-loops — the guard the old closure applied.
+    fn push_relayed(ws: &mut RoutingWorkspace, me: NodeId, from: NodeId, to: NodeId) {
+        if from != me && to != me && from != to {
+            ws.push_edge(from, to);
+        }
     }
 
     /// The route to `dest`, if any.
@@ -327,6 +422,38 @@ mod tests {
         assert_eq!(diff.added.iter().map(|r| r.dest).collect::<Vec<_>>(), vec![NodeId(3)]);
         assert_eq!(diff.removed, vec![NodeId(2)]);
         assert!(t1.diff(&t1.clone()).is_empty());
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_computation() {
+        // One workspace driven across different graphs (shrinking and
+        // growing, with and without avoidance) must match the one-shot
+        // API every time.
+        let mut ws = RoutingWorkspace::default();
+        let big = topo_multi(&[(1, &[2, 3]), (2, &[4]), (4, &[3, 5]), (5, &[6])]);
+        let small = topo(&[(1, 2)]);
+        let sym_big = vec![NodeId(1), NodeId(2)];
+        let sym_small = vec![NodeId(1)];
+        let runs: Vec<(&[NodeId], &TopologySet, Option<NodeId>)> = vec![
+            (&sym_big, &big, None),
+            (&sym_small, &small, None),
+            (&sym_big, &big, Some(NodeId(2))),
+            (&sym_big, &big, None),
+            (&sym_small, &small, Some(NodeId(1))),
+        ];
+        for (sym, topo, avoid) in runs {
+            let reused = RoutingTable::compute_avoiding_with(
+                &mut ws,
+                NodeId(0),
+                sym,
+                &no2h(),
+                topo,
+                now(),
+                avoid,
+            );
+            let fresh = RoutingTable::compute_avoiding(NodeId(0), sym, &no2h(), topo, now(), avoid);
+            assert_eq!(reused, fresh, "avoid={avoid:?}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! Decoding is total: malformed input yields a [`WireError`], never a panic,
 //! so forged packets from attack nodes can be thrown at the parser safely.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 use trustlink_sim::NodeId;
 
 use crate::message::{
@@ -50,18 +50,34 @@ const NO_AVOID: u16 = u16::MAX;
 /// overflow the 16-bit size field (neither occurs with protocol-generated
 /// traffic).
 pub fn encode_packet(packet: &Packet) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
-    buf.put_u16(0); // length placeholder
-    buf.put_u16(packet.seq.0);
-    for msg in &packet.messages {
-        encode_message(&mut buf, msg);
-    }
-    let len = u16::try_from(buf.len()).expect("packet too large");
-    buf[0..2].copy_from_slice(&len.to_be_bytes());
-    buf.freeze()
+    let mut scratch = Vec::with_capacity(64);
+    encode_packet_into(packet, &mut scratch)
 }
 
-fn encode_message(buf: &mut BytesMut, msg: &Message) {
+/// Encodes a packet through a caller-owned scratch buffer.
+///
+/// `scratch` is cleared and refilled; reusing one buffer across packets
+/// makes the encode path allocation-stable — after warm-up, the only
+/// allocation per frame is the exact-size [`Bytes`] the radio needs to
+/// own anyway. [`OlsrNode`](crate::node::OlsrNode) holds such a buffer
+/// for every transmission.
+///
+/// # Panics
+///
+/// Same contract as [`encode_packet`].
+pub fn encode_packet_into(packet: &Packet, scratch: &mut Vec<u8>) -> Bytes {
+    scratch.clear();
+    scratch.put_u16(0); // length placeholder
+    scratch.put_u16(packet.seq.0);
+    for msg in &packet.messages {
+        encode_message(scratch, msg);
+    }
+    let len = u16::try_from(scratch.len()).expect("packet too large");
+    scratch[0..2].copy_from_slice(&len.to_be_bytes());
+    Bytes::copy_from_slice(scratch)
+}
+
+fn encode_message(buf: &mut Vec<u8>, msg: &Message) {
     let start = buf.len();
     buf.put_u8(msg.body.type_byte());
     buf.put_u8(encode_vtime(msg.vtime));
@@ -98,7 +114,7 @@ fn encode_message(buf: &mut BytesMut, msg: &Message) {
     buf[start + 2..start + 4].copy_from_slice(&size.to_be_bytes());
 }
 
-fn encode_hello(buf: &mut BytesMut, h: &HelloMessage) {
+fn encode_hello(buf: &mut Vec<u8>, h: &HelloMessage) {
     buf.put_u16(0); // reserved
     buf.put_u8(0); // htime (unused by receivers here)
     buf.put_u8(h.willingness.to_wire());
@@ -113,7 +129,7 @@ fn encode_hello(buf: &mut BytesMut, h: &HelloMessage) {
     }
 }
 
-fn encode_tc(buf: &mut BytesMut, t: &TcMessage) {
+fn encode_tc(buf: &mut Vec<u8>, t: &TcMessage) {
     buf.put_u16(t.ansn);
     buf.put_u16(0); // reserved
     for a in &t.advertised {
@@ -143,7 +159,9 @@ pub fn decode_packet(mut bytes: Bytes) -> Result<Packet, WireError> {
         std::cmp::Ordering::Equal => {}
     }
     let seq = SequenceNumber(bytes.get_u16());
-    let mut messages = Vec::new();
+    // Protocol packets carry a handful of messages; clamp the hint so a
+    // forged frame full of payload bytes cannot force a huge reservation.
+    let mut messages = Vec::with_capacity((bytes.remaining() / MESSAGE_HEADER_LEN).min(4));
     while bytes.has_remaining() {
         messages.push(decode_message(&mut bytes)?);
     }
@@ -173,7 +191,7 @@ fn decode_message(bytes: &mut Bytes) -> Result<Message, WireError> {
         1 => MessageBody::Hello(decode_hello(&mut body_bytes)?),
         2 => MessageBody::Tc(decode_tc(&mut body_bytes)?),
         3 => {
-            let mut aliases = Vec::new();
+            let mut aliases = Vec::with_capacity(body_bytes.remaining() / 2);
             while body_bytes.remaining() >= 2 {
                 aliases.push(NodeId(body_bytes.get_u16()));
             }
@@ -183,7 +201,7 @@ fn decode_message(bytes: &mut Bytes) -> Result<Message, WireError> {
             MessageBody::Mid(MidMessage { aliases })
         }
         4 => {
-            let mut networks = Vec::new();
+            let mut networks = Vec::with_capacity(body_bytes.remaining() / 4);
             while body_bytes.remaining() >= 4 {
                 let net = NodeId(body_bytes.get_u16());
                 let prefix = body_bytes.get_u8();
@@ -238,7 +256,7 @@ fn decode_tc(bytes: &mut Bytes) -> Result<TcMessage, WireError> {
     }
     let ansn = bytes.get_u16();
     let _reserved = bytes.get_u16();
-    let mut advertised = Vec::new();
+    let mut advertised = Vec::with_capacity(bytes.remaining() / 2);
     while bytes.remaining() >= 2 {
         advertised.push(NodeId(bytes.get_u16()));
     }
@@ -271,6 +289,7 @@ fn decode_data(bytes: &mut Bytes) -> Result<DataMessage, WireError> {
 mod tests {
     use super::*;
     use crate::message::{LinkType, NeighborType};
+    use bytes::BytesMut;
     use trustlink_sim::SimDuration;
 
     fn sample_packet() -> Packet {
@@ -358,6 +377,19 @@ mod tests {
             d.vtime = o.vtime;
         }
         assert_eq!(decoded, packet);
+    }
+
+    #[test]
+    fn encode_into_reused_scratch_matches_encode() {
+        let packet = sample_packet();
+        let reference = encode_packet(&packet);
+        let mut scratch = Vec::new();
+        // Dirty the scratch first: encode_packet_into must clear it.
+        scratch.extend_from_slice(b"garbage from a previous frame");
+        for _ in 0..3 {
+            let frame = encode_packet_into(&packet, &mut scratch);
+            assert_eq!(frame, reference);
+        }
     }
 
     #[test]

@@ -12,11 +12,29 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::grid::SpatialGrid;
 use crate::mobility::{Arena, MobilityModel, MobilityState, Position};
 use crate::node::{Application, Command, Context, LogBuffer, NodeId, TimerToken};
 use crate::radio::{DeliveryOutcome, RadioConfig};
 use crate::stats::TrafficStats;
 use crate::time::{SimDuration, SimTime};
+
+/// How the radio finds candidate receivers for a transmission.
+///
+/// Both modes are pure functions of `(seed, config)` and produce
+/// byte-identical logs and statistics for the same run — the grid only
+/// changes *which slots are inspected*, never the order of RNG draws (see
+/// [`crate::grid`]). `Linear` is kept as the reference oracle for the
+/// equivalence suite and as the baseline for scaling benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Query the spatial grid index: O(neighborhood) per broadcast. The
+    /// default.
+    #[default]
+    Grid,
+    /// Scan every node slot: O(n) per broadcast. The pre-index behaviour.
+    Linear,
+}
 
 /// What a scheduled event does when it fires.
 #[derive(Debug)]
@@ -81,6 +99,7 @@ pub struct SimulatorBuilder {
     arena: Arena,
     radio: RadioConfig,
     mobility_tick: SimDuration,
+    scan_mode: ScanMode,
 }
 
 impl SimulatorBuilder {
@@ -91,6 +110,7 @@ impl SimulatorBuilder {
             arena: Arena::default(),
             radio: RadioConfig::default(),
             mobility_tick: SimDuration::from_millis(500),
+            scan_mode: ScanMode::default(),
         }
     }
 
@@ -117,8 +137,17 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Selects how the radio finds candidate receivers. [`ScanMode::Grid`]
+    /// (the default) is the indexed fast path; [`ScanMode::Linear`] is the
+    /// O(n)-per-broadcast reference scan, byte-identical per seed.
+    pub fn scan_mode(mut self, mode: ScanMode) -> Self {
+        self.scan_mode = mode;
+        self
+    }
+
     /// Finalizes the configuration into an empty simulator.
     pub fn build(self) -> Simulator {
+        let grid = SpatialGrid::new(&self.arena, self.radio.propagation.max_range());
         Simulator {
             time: SimTime::ZERO,
             queue: BinaryHeap::new(),
@@ -131,6 +160,11 @@ impl SimulatorBuilder {
             mobility_tick: self.mobility_tick,
             mobility_scheduled: false,
             halted: false,
+            grid,
+            scan_mode: self.scan_mode,
+            alive_count: 0,
+            scratch_commands: Vec::new(),
+            scratch_candidates: Vec::new(),
         }
     }
 }
@@ -150,6 +184,17 @@ pub struct Simulator {
     mobility_tick: SimDuration,
     mobility_scheduled: bool,
     halted: bool,
+    grid: SpatialGrid,
+    scan_mode: ScanMode,
+    /// Number of alive slots, kept current so the grid path can account
+    /// for out-of-range receivers it never visits (stats parity with the
+    /// linear scan).
+    alive_count: u64,
+    /// Reused per-callback command buffer: the event hot path allocates
+    /// nothing.
+    scratch_commands: Vec<Command>,
+    /// Reused broadcast fan-out candidate buffer.
+    scratch_candidates: Vec<u16>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -178,14 +223,24 @@ impl Simulator {
     ) -> NodeId {
         let id = NodeId(u16::try_from(self.slots.len()).expect("too many nodes"));
         self.stats.ensure_node(id);
+        let position = self.arena.clamp(position);
         self.slots.push(NodeSlot {
             app,
-            position: self.arena.clamp(position),
+            position,
             mobility: MobilityState::new(mobility),
             log: LogBuffer::default(),
             alive: true,
             last_rx: None,
         });
+        self.grid.register_slot(id.0);
+        if self.scan_mode == ScanMode::Grid {
+            // In linear mode nothing ever queries the index; never
+            // inserting keeps every other grid call a no-op, so the
+            // baseline pays no maintenance cost it did not have
+            // pre-index.
+            self.grid.insert(id.0, position);
+        }
+        self.alive_count += 1;
         self.schedule(SimDuration::ZERO, EventKind::Start { node: id });
         id
     }
@@ -222,7 +277,9 @@ impl Simulator {
     /// Teleports `id` to `position` (clamped to the arena). Useful for
     /// scripted topology changes in tests and scenarios.
     pub fn set_position(&mut self, id: NodeId, position: Position) {
-        self.slots[id.index()].position = self.arena.clamp(position);
+        let position = self.arena.clamp(position);
+        self.slots[id.index()].position = position;
+        self.grid.update(id.0, position);
     }
 
     /// Immutable access to the application installed on `id`.
@@ -257,31 +314,58 @@ impl Simulator {
         &self.radio
     }
 
+    /// The receiver-scan mode in force.
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan_mode
+    }
+
     /// Ground-truth neighbors of `id`: alive nodes within the propagation
     /// model's maximum range. (What an omniscient observer would call the
     /// 1-hop neighborhood; protocols must *discover* this.)
     pub fn neighbors_in_range(&self, id: NodeId) -> Vec<NodeId> {
-        let me = &self.slots[id.index()];
+        let me_pos = self.slots[id.index()].position;
         let range = self.radio.propagation.max_range();
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(i, s)| {
-                *i != id.index() && s.alive && me.position.distance(&s.position) <= range
-            })
-            .map(|(i, _)| NodeId(i as u16))
-            .collect()
+        match self.scan_mode {
+            ScanMode::Linear => self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| {
+                    *i != id.index() && s.alive && me_pos.distance(&s.position) <= range
+                })
+                .map(|(i, _)| NodeId(i as u16))
+                .collect(),
+            ScanMode::Grid => {
+                let mut candidates = Vec::new();
+                self.grid.gather_within(me_pos, range, &mut candidates);
+                candidates.sort_unstable();
+                candidates.into_iter().filter(|&i| i != id.0).map(NodeId).collect()
+            }
+        }
     }
 
     /// Marks `id` dead: it stops transmitting and receiving (crash / power
     /// off). Timers still fire but commands from dead nodes are discarded.
     pub fn kill(&mut self, id: NodeId) {
-        self.slots[id.index()].alive = false;
+        let slot = &mut self.slots[id.index()];
+        if slot.alive {
+            slot.alive = false;
+            self.alive_count -= 1;
+            self.grid.remove(id.0);
+        }
     }
 
     /// Brings a dead node back.
     pub fn revive(&mut self, id: NodeId) {
-        self.slots[id.index()].alive = true;
+        let slot = &mut self.slots[id.index()];
+        if !slot.alive {
+            slot.alive = true;
+            self.alive_count += 1;
+            let pos = slot.position;
+            if self.scan_mode == ScanMode::Grid {
+                self.grid.insert(id.0, pos);
+            }
+        }
     }
 
     /// `true` if `id` is alive.
@@ -368,13 +452,18 @@ impl Simulator {
                 self.run_callback(to, move |app, ctx| app.on_receive(ctx, from, payload));
             }
             EventKind::MobilityTick => {
-                for slot in &mut self.slots {
-                    slot.position = slot.mobility.step(
+                for i in 0..self.slots.len() {
+                    let slot = &mut self.slots[i];
+                    let next = slot.mobility.step(
                         slot.position,
                         self.mobility_tick,
                         &self.arena,
                         &mut self.rng,
                     );
+                    slot.position = next;
+                    if self.scan_mode == ScanMode::Grid {
+                        self.grid.update(i as u16, next);
+                    }
                 }
                 self.schedule(self.mobility_tick, EventKind::MobilityTick);
             }
@@ -386,21 +475,27 @@ impl Simulator {
         node: NodeId,
         f: impl FnOnce(&mut Box<dyn Application>, &mut Context<'_>),
     ) {
-        let mut commands = Vec::new();
+        // Reuse the simulator-owned command buffer: steady-state event
+        // dispatch performs no allocation. `mem::take` (rather than a
+        // direct borrow) keeps `self` free for `execute`.
+        let mut commands = std::mem::take(&mut self.scratch_commands);
+        commands.clear();
         {
             let slot = &mut self.slots[node.index()];
             if !slot.alive {
+                self.scratch_commands = commands;
                 return;
             }
             let mut ctx =
                 Context::new(node, self.time, &mut self.rng, &mut slot.log, &mut commands);
             f(&mut slot.app, &mut ctx);
         }
-        self.execute(node, commands);
+        self.execute(node, &mut commands);
+        self.scratch_commands = commands;
     }
 
-    fn execute(&mut self, node: NodeId, commands: Vec<Command>) {
-        for cmd in commands {
+    fn execute(&mut self, node: NodeId, commands: &mut Vec<Command>) {
+        for cmd in commands.drain(..) {
             if !self.slots[node.index()].alive {
                 // A node killed mid-callback transmits nothing further.
                 break;
@@ -423,19 +518,57 @@ impl Simulator {
             s.broadcasts_sent += 1;
             s.bytes_sent += payload.len() as u64;
         }
-        for i in 0..self.slots.len() {
-            if i == from.index() || !self.slots[i].alive {
-                continue;
+        match self.scan_mode {
+            ScanMode::Linear => {
+                for i in 0..self.slots.len() {
+                    if i == from.index() || !self.slots[i].alive {
+                        continue;
+                    }
+                    self.judge_one(from, NodeId(i as u16), tx_pos, &payload);
+                }
             }
-            let rx_pos = self.slots[i].position;
-            match self.radio.judge(tx_pos, rx_pos, &mut self.rng) {
-                DeliveryOutcome::Deliver(delay) => self.schedule(
-                    delay,
-                    EventKind::Deliver { to: NodeId(i as u16), from, payload: payload.clone() },
-                ),
-                DeliveryOutcome::OutOfRange => self.stats.lost_range += 1,
-                DeliveryOutcome::Lost => self.stats.lost_random += 1,
+            ScanMode::Grid => {
+                // Candidates are every alive node within the maximum
+                // radio range. Sorting ascending makes the visit order
+                // (and therefore the RNG draw order: the radio draws only
+                // for positive-probability receivers) the same as the
+                // linear scan's.
+                let range = self.radio.propagation.max_range();
+                let mut candidates = std::mem::take(&mut self.scratch_candidates);
+                candidates.clear();
+                self.grid.gather_within(tx_pos, range, &mut candidates);
+                candidates.sort_unstable();
+                let mut visited: u64 = 0;
+                for &i in &candidates {
+                    if i == from.0 {
+                        continue;
+                    }
+                    visited += 1;
+                    self.judge_one(from, NodeId(i), tx_pos, &payload);
+                }
+                candidates.clear();
+                self.scratch_candidates = candidates;
+                // Every alive node the cull rejected is beyond the
+                // maximum range; the linear scan would have judged (and
+                // counted) each without drawing randomness.
+                let alive_others = self.alive_count - u64::from(self.slots[from.index()].alive);
+                debug_assert!(visited <= alive_others, "grid indexed more nodes than are alive");
+                self.stats.lost_range += alive_others - visited;
             }
+        }
+    }
+
+    /// Judges one broadcast receiver: schedules the delivery or books the
+    /// loss. Shared verbatim by both scan modes so their RNG consumption
+    /// and statistics cannot drift apart.
+    fn judge_one(&mut self, from: NodeId, to: NodeId, tx_pos: Position, payload: &Bytes) {
+        let rx_pos = self.slots[to.index()].position;
+        match self.radio.judge(tx_pos, rx_pos, &mut self.rng) {
+            DeliveryOutcome::Deliver(delay) => {
+                self.schedule(delay, EventKind::Deliver { to, from, payload: payload.clone() })
+            }
+            DeliveryOutcome::OutOfRange => self.stats.lost_range += 1,
+            DeliveryOutcome::Lost => self.stats.lost_random += 1,
         }
     }
 
@@ -666,6 +799,117 @@ mod tests {
         sim.run_for(SimDuration::from_secs(1));
         let rx = &sim.app_as::<Chatter>(b).unwrap().received;
         assert!(rx.iter().any(|(_, _, p)| p.as_ref() == b"ghost"));
+    }
+
+    /// Runs `script` against two identically-configured simulators, one
+    /// per scan mode, and asserts their logs and stats are byte-identical.
+    fn assert_scan_modes_agree(seed: u64, script: impl Fn(&mut Simulator)) {
+        let fingerprint = |mode: ScanMode| {
+            let mut sim = SimulatorBuilder::new(seed)
+                .arena(Arena::new(600.0, 600.0))
+                .radio(RadioConfig::unit_disk(150.0).with_loss(0.2))
+                .mobility_tick(SimDuration::from_millis(100))
+                .scan_mode(mode)
+                .build();
+            script(&mut sim);
+            let mut out = format!("{:?}\n", sim.stats());
+            for id in sim.node_ids().collect::<Vec<_>>() {
+                for (at, line) in sim.log(id).entries() {
+                    out.push_str(&format!("{id} {at:?} {line}\n"));
+                }
+                out.push_str(&format!(
+                    "{id} rx={:?}\n",
+                    sim.app_as::<Chatter>(id).map(|c| c.received.len())
+                ));
+            }
+            out
+        };
+        assert_eq!(fingerprint(ScanMode::Grid), fingerprint(ScanMode::Linear), "seed {seed}");
+    }
+
+    #[test]
+    fn grid_matches_linear_for_stationary_mesh() {
+        for seed in [1, 2, 3] {
+            assert_scan_modes_agree(seed, |sim| {
+                for i in 0..24 {
+                    let x = f64::from(i % 6) * 90.0;
+                    let y = f64::from(i / 6) * 90.0;
+                    sim.add_node(Box::new(Chatter::new(4)), Position::new(x, y));
+                }
+                sim.run_for(SimDuration::from_secs(2));
+            });
+        }
+    }
+
+    #[test]
+    fn grid_matches_linear_under_mobility_and_churn() {
+        for seed in [7, 8] {
+            assert_scan_modes_agree(seed, |sim| {
+                for i in 0..16u16 {
+                    sim.add_mobile_node(
+                        Box::new(Chatter::new(6)),
+                        Position::new(f64::from(i) * 35.0, f64::from(i % 4) * 120.0),
+                        MobilityModel::RandomWaypoint {
+                            speed_min: 20.0,
+                            speed_max: 60.0,
+                            pause: SimDuration::from_millis(200),
+                        },
+                    );
+                }
+                sim.run_for(SimDuration::from_millis(400));
+                sim.kill(NodeId(3));
+                sim.kill(NodeId(3)); // double-kill must be a no-op
+                sim.run_for(SimDuration::from_millis(400));
+                sim.revive(NodeId(3));
+                sim.inject_broadcast(NodeId(3), Bytes::from_static(b"back"));
+                sim.run_for(SimDuration::from_secs(2));
+            });
+        }
+    }
+
+    #[test]
+    fn grid_tracks_mobile_nodes_across_cells() {
+        // A walker that crosses many cell borders must keep appearing in
+        // ground-truth neighborhoods computed through the grid.
+        let mut sim = SimulatorBuilder::new(5)
+            .arena(Arena::new(400.0, 400.0))
+            .radio(RadioConfig::unit_disk(600.0)) // everyone always in range
+            .mobility_tick(SimDuration::from_millis(50))
+            .build();
+        let w = sim.add_mobile_node(
+            Box::new(Chatter::new(0)),
+            Position::new(200.0, 200.0),
+            MobilityModel::RandomWalk { speed: 80.0 },
+        );
+        let obs = sim.add_node(Box::new(Chatter::new(0)), Position::new(10.0, 10.0));
+        for _ in 0..40 {
+            sim.run_for(SimDuration::from_millis(100));
+            assert_eq!(sim.neighbors_in_range(obs), vec![w]);
+            assert_eq!(sim.neighbors_in_range(w), vec![obs]);
+        }
+    }
+
+    #[test]
+    fn set_position_reindexes_the_node() {
+        let mut sim = SimulatorBuilder::new(1)
+            .arena(Arena::new(1_000.0, 1_000.0))
+            .radio(RadioConfig::unit_disk(100.0))
+            .build();
+        let a = sim.add_node(Box::new(Chatter::new(0)), Position::new(0.0, 0.0));
+        let b = sim.add_node(Box::new(Chatter::new(0)), Position::new(900.0, 900.0));
+        assert!(sim.neighbors_in_range(a).is_empty());
+        sim.set_position(b, Position::new(50.0, 0.0));
+        assert_eq!(sim.neighbors_in_range(a), vec![b]);
+        assert_eq!(sim.neighbors_in_range(b), vec![a]);
+    }
+
+    #[test]
+    fn killed_nodes_leave_the_index_until_revived() {
+        let (mut sim, a, b) = two_node_sim(50.0, 250.0);
+        sim.kill(b);
+        assert!(sim.neighbors_in_range(a).is_empty());
+        sim.revive(b);
+        assert_eq!(sim.neighbors_in_range(a), vec![b]);
     }
 
     #[test]

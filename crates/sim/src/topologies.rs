@@ -32,6 +32,31 @@ pub fn ring(n: usize, radius: f64) -> Vec<Position> {
         .collect()
 }
 
+/// Uniformly random positions in `arena` — the classic random geometric
+/// graph placement, with no connectivity guarantee.
+///
+/// This is the generator for *large* topologies (10³–10⁴ nodes), where
+/// the O(n²) connectivity check of [`random_connected`] is unaffordable
+/// and statistically unnecessary: pair it with [`arena_for_mean_degree`]
+/// to size the arena so the network is dense enough to be connected with
+/// overwhelming probability.
+pub fn random_geometric(n: usize, arena: &Arena, rng: &mut StdRng) -> Vec<Position> {
+    (0..n).map(|_| arena.random_position(rng)).collect()
+}
+
+/// A square arena sized so `n` nodes at radio range `range` have the
+/// given mean 1-hop degree: area = `n · π · range² / mean_degree`.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+pub fn arena_for_mean_degree(n: usize, range: f64, mean_degree: f64) -> Arena {
+    assert!(n > 0 && range > 0.0 && mean_degree > 0.0, "all arguments must be positive");
+    let area = n as f64 * std::f64::consts::PI * range * range / mean_degree;
+    let side = area.sqrt();
+    Arena::new(side, side)
+}
+
 /// Uniformly random positions in `arena` re-sampled until the unit-disk
 /// graph at `range` is connected.
 ///
@@ -129,6 +154,42 @@ mod tests {
             let d = q.distance(&Position::new(100.0, 100.0));
             assert!((d - 100.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn random_geometric_fills_the_arena() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let arena = Arena::new(1_000.0, 500.0);
+        let p = random_geometric(2_000, &arena, &mut rng);
+        assert_eq!(p.len(), 2_000);
+        assert!(p.iter().all(|q| arena.contains(*q)));
+        // Uniform placement should hit all four quadrants.
+        let quadrant = |q: &Position| (q.x > 500.0) as usize * 2 + (q.y > 250.0) as usize;
+        let mut seen = [false; 4];
+        for q in &p {
+            seen[quadrant(q)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "quadrants covered: {seen:?}");
+    }
+
+    #[test]
+    fn arena_for_mean_degree_hits_the_target_density() {
+        let n = 1_000;
+        let range = 150.0;
+        let arena = arena_for_mean_degree(n, range, 12.0);
+        // Empirical mean degree over a random placement should be close
+        // to the target (border effects push it slightly low).
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = random_geometric(n, &arena, &mut rng);
+        let adj = adjacency(&p, range);
+        let mean = adj.iter().map(Vec::len).sum::<usize>() as f64 / n as f64;
+        assert!((8.0..=13.0).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn arena_for_mean_degree_rejects_zero_range() {
+        let _ = arena_for_mean_degree(10, 0.0, 8.0);
     }
 
     #[test]

@@ -49,6 +49,14 @@ impl Bytes {
         Bytes::from(bytes.to_vec())
     }
 
+    /// Copies `data` into a fresh buffer — one allocation, one copy. The
+    /// idiom for freezing a reused scratch buffer into a frame.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let data: Arc<[u8]> = Arc::from(data);
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+
     /// Length of the view in bytes.
     pub fn len(&self) -> usize {
         self.end - self.start
@@ -459,6 +467,14 @@ mod tests {
     fn get_past_end_panics() {
         let mut b = Bytes::from_static(b"x");
         let _ = b.get_u16();
+    }
+
+    #[test]
+    fn copy_from_slice_detaches_from_source() {
+        let mut scratch = vec![1u8, 2, 3];
+        let b = Bytes::copy_from_slice(&scratch);
+        scratch.clear();
+        assert_eq!(b, b"\x01\x02\x03"[..]);
     }
 
     #[test]

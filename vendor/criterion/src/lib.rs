@@ -12,9 +12,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// `true` when the bench binary was invoked with `--test` (as the real
+/// criterion supports): every benchmark runs exactly once, untimed-ish,
+/// so CI can smoke-test that heavy benches still *work* without paying
+/// for statistics.
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// The benchmark driver handed to every target function.
 pub struct Criterion {
@@ -35,21 +45,31 @@ impl Criterion {
     }
 
     /// Run one named benchmark.
-    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
-        for _ in 0..self.sample_size {
+        let samples = self.sample_size;
+        self.bench_with(samples, id, f);
+        self
+    }
+
+    fn bench_with<F>(&mut self, samples: usize, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if test_mode() { 1 } else { samples };
+        let mut b = Bencher { samples: Vec::with_capacity(samples) };
+        for _ in 0..samples {
             f(&mut b);
         }
         b.report(&id.to_string());
-        self
     }
 
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.into() }
+        let sample_size = self.sample_size;
+        BenchmarkGroup { c: self, name: name.into(), sample_size }
     }
 }
 
@@ -57,6 +77,9 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     c: &'a mut Criterion,
     name: String,
+    /// The group's own sample count — like the real crate, overriding it
+    /// is scoped to the group and never leaks into later targets.
+    sample_size: usize,
 }
 
 impl BenchmarkGroup<'_> {
@@ -66,13 +89,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        self.c.bench_function(full, f);
+        self.c.bench_with(self.sample_size, full, f);
         self
     }
 
     /// Override the sample count for the rest of the group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.c.sample_size = n.max(1);
+        self.sample_size = n.max(1);
         self
     }
 
@@ -91,9 +114,21 @@ impl Bencher {
     where
         F: FnMut() -> O,
     {
-        // One warm-up call, then time a short batch.
+        // The warm-up call doubles as a calibration probe.
+        let probe = Instant::now();
         black_box(f());
-        let iters = 16u32;
+        let warm = probe.elapsed();
+        if test_mode() {
+            // `--test`: the warm-up already proved the bench runs; record
+            // its duration and stop.
+            self.samples.push(warm.max(Duration::from_nanos(1)));
+            return;
+        }
+        // Scale the timed batch to the workload: fast primitives amortize
+        // timer overhead over 16 iterations, slow whole-network scenario
+        // sims are sampled once instead of sixteen times.
+        const TARGET: Duration = Duration::from_millis(40);
+        let iters = (TARGET.as_nanos() / warm.as_nanos().max(1)).clamp(1, 16) as u32;
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -169,5 +204,15 @@ mod tests {
     #[test]
     fn group_runs_all_targets() {
         smoke();
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak() {
+        let mut c = Criterion::default().sample_size(7);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| black_box(1)));
+        g.finish();
+        assert_eq!(c.sample_size, 7, "group override leaked into the parent Criterion");
     }
 }
