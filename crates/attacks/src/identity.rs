@@ -118,11 +118,14 @@ mod tests {
         let mut sim = SimulatorBuilder::new(41).radio(RadioConfig::unit_disk(200.0)).build();
         let observer =
             sim.add_node(Box::new(OlsrNode::new(OlsrConfig::fast())), Position::new(0.0, 0.0));
+        // The forged neighborhood must claim the observer itself: receivers
+        // only record 2-hop state from HELLOs that prove a live symmetric
+        // link (RFC 3626 §8.2.1), so a credible forgery lists its audience.
         let _spoofer = sim.add_node(
             Box::new(IdentitySpoofer::new(
                 OlsrConfig::fast(),
                 NodeId(42),
-                vec![NodeId(7), NodeId(8)],
+                vec![NodeId(0), NodeId(7), NodeId(8)],
                 SimDuration::from_millis(500),
             )),
             Position::new(100.0, 0.0),

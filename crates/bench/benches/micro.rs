@@ -40,7 +40,7 @@ fn bench_routing(c: &mut Criterion) {
     let until = SimTime::from_secs(1_000);
     for i in 0..50u16 {
         let dests = vec![NodeId((i + 1) % 50), NodeId((i + 7) % 50)];
-        topo.apply_tc(NodeId(i), 1, &dests, until);
+        topo.apply_tc(NodeId(i), 1, &dests, until, SimTime::ZERO);
     }
     let sym = vec![NodeId(1), NodeId(49), NodeId(7)];
     let two_hop = TwoHopSet::default();

@@ -1,16 +1,24 @@
-//! The scaling benchmark: baseline (linear scan) vs spatial-grid radio at
-//! 10²–10⁴ nodes, recorded as `BENCH_scale.json` at the repository root.
+//! The scaling benchmark: baseline (linear scan) vs spatial-grid radio,
+//! and eager vs incremental OLSR recompute, at 10²–10⁴ nodes, recorded as
+//! `BENCH_scale.json` at the repository root.
 //!
-//! Two measurements per network size:
+//! Three measurements per network size:
 //!
-//! * **broadcast fan-out** — the radio-layer cost this PR attacks: time
-//!   per `inject_broadcast` into a network of no-op applications
-//!   (scheduling excluded deliveries drained outside the timed region).
-//!   This is where the O(n) → O(neighborhood) change shows directly.
-//! * **OLSR convergence** — wall time of a short HELLO-driven convergence
-//!   window over the same placement, showing what the whole stack costs
-//!   end-to-end (protocol processing dominates at scale, so the speedup
-//!   here is structurally smaller).
+//! * **broadcast fan-out** — the radio-layer cost PR 2 attacked: time per
+//!   `inject_broadcast` into a network of no-op applications (scheduling
+//!   excluded deliveries drained outside the timed region). This is where
+//!   the O(n) → O(neighborhood) change shows directly.
+//! * **OLSR convergence (TC-silenced)** — wall time of a short HELLO-driven
+//!   convergence window over the same placement: the radio-layer speedup
+//!   as seen by the whole stack.
+//! * **full-stack recompute** — wall time of a HELLO + TC convergence
+//!   window with `RecomputeMode::Eager` (the pre-incremental *cadence*:
+//!   recompute after every state-changing packet; it shares the
+//!   pipeline's change gating and scratch reuse, so the measured speedup
+//!   conservatively isolates scheduling) vs `RecomputeMode::Incremental`
+//!   (change-aware, debounced). This is the control-plane cost this PR
+//!   attacks; the 10k row runs incrementally only — the eager oracle is
+//!   measured up to 4096 where it is still affordable.
 //!
 //! Usage:
 //!   `cargo run --release -p trustlink-bench --bin scale`             — full sweep, writes BENCH_scale.json
@@ -22,7 +30,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use trustlink_olsr::{OlsrConfig, OlsrNode};
+use trustlink_olsr::{OlsrConfig, OlsrNode, RecomputeMode};
 use trustlink_sim::prelude::*;
 use trustlink_sim::topologies;
 
@@ -104,6 +112,32 @@ fn convergence_ms(n: usize, mode: ScanMode, sim_secs: u64) -> (f64, u64) {
     (t0.elapsed().as_secs_f64() * 1e3, sim.stats().total_sent())
 }
 
+/// Wall milliseconds to simulate a `sim_secs`-second *full-stack*
+/// convergence window — HELLOs and TCs both flowing — under the given
+/// recompute mode. Also reports total frames and the summed MPR/BFS
+/// execution counts across all nodes (the work the incremental pipeline
+/// avoids).
+fn full_stack_ms(n: usize, mode: RecomputeMode, sim_secs: u64) -> (f64, u64, u64, u64) {
+    // RFC 3626 §18 default timing (hello 2 s, TC 5 s): the representative
+    // deployment cadence. The `fast()` timing used by quick tests drives
+    // 16× the TC traffic and makes the eager oracle a multi-hour
+    // measurement at 4096 nodes without changing the speedup story; the
+    // window below covers a full TC interval so every node originates.
+    let cfg = OlsrConfig { recompute: mode, ..OlsrConfig::rfc_default() };
+    let t0 = Instant::now();
+    let mut sim = placed_sim(n, 1, ScanMode::Grid, || Box::new(OlsrNode::new(cfg.clone())));
+    sim.run_for(SimDuration::from_secs(sim_secs));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let frames = sim.stats().total_sent();
+    let (mut mpr_runs, mut route_runs) = (0u64, 0u64);
+    for id in sim.node_ids().collect::<Vec<_>>() {
+        let s = sim.app_as::<OlsrNode>(id).expect("olsr node").recompute_stats();
+        mpr_runs += s.mpr_runs;
+        route_runs += s.route_runs;
+    }
+    (wall_ms, frames, mpr_runs, route_runs)
+}
+
 struct FanOutRow {
     nodes: usize,
     linear_us: f64,
@@ -116,6 +150,17 @@ struct ConvergenceRow {
     linear_ms: f64,
     grid_ms: f64,
     frames: u64,
+}
+
+struct RecomputeRow {
+    nodes: usize,
+    sim_secs: u64,
+    /// `None` for sizes where the eager oracle is unaffordable (10k).
+    eager_ms: Option<f64>,
+    incremental_ms: f64,
+    frames: u64,
+    eager_bfs: Option<u64>,
+    incremental_bfs: u64,
 }
 
 fn main() {
@@ -131,6 +176,14 @@ fn main() {
         if smoke { (&[64, 256], 200) } else { (&[256, 1024, 4096, 10_000], 2_000) };
     let (conv_sizes, sim_secs): (&[usize], u64) =
         if smoke { (&[64], 1) } else { (&[256, 1024, 4096], 2) };
+    // (nodes, sim window, run the eager oracle too?). The 10k row is
+    // incremental-only: the point of this pipeline is that the full stack
+    // *completes* there, where per-packet recompute was unaffordable.
+    let recompute_plan: &[(usize, u64, bool)] = if smoke {
+        &[(64, 6, true), (256, 6, true)]
+    } else {
+        &[(256, 6, true), (1024, 6, true), (4096, 6, true), (10_000, 6, false)]
+    };
 
     let mut fan_rows = Vec::new();
     for &n in fan_sizes {
@@ -154,7 +207,42 @@ fn main() {
         conv_rows.push(ConvergenceRow { nodes: n, sim_secs, linear_ms, grid_ms, frames });
     }
 
-    let json = render_json(&fan_rows, &conv_rows, broadcasts);
+    let mut rec_rows = Vec::new();
+    for &(n, secs, with_eager) in recompute_plan {
+        let (incr_ms, frames, _, incr_bfs) = full_stack_ms(n, RecomputeMode::Incremental, secs);
+        let (eager_ms, eager_bfs) = if with_eager {
+            let (ms, eager_frames, _, bfs) = full_stack_ms(n, RecomputeMode::Eager, secs);
+            assert_eq!(
+                eager_frames, frames,
+                "recompute modes transmitted different frame counts at n={n}"
+            );
+            (Some(ms), Some(bfs))
+        } else {
+            (None, None)
+        };
+        match eager_ms {
+            Some(e) => eprintln!(
+                "recompute n={n:>6}: eager {e:>9.0} ms   incremental {incr_ms:>9.0} ms   {:>5.2}×  ({frames} frames, BFS {} -> {})",
+                e / incr_ms,
+                eager_bfs.unwrap_or(0),
+                incr_bfs,
+            ),
+            None => eprintln!(
+                "recompute n={n:>6}: eager   (skipped)   incremental {incr_ms:>9.0} ms          ({frames} frames, BFS {incr_bfs})"
+            ),
+        }
+        rec_rows.push(RecomputeRow {
+            nodes: n,
+            sim_secs: secs,
+            eager_ms,
+            incremental_ms: incr_ms,
+            frames,
+            eager_bfs,
+            incremental_bfs: incr_bfs,
+        });
+    }
+
+    let json = render_json(&fan_rows, &conv_rows, &rec_rows, broadcasts);
     if smoke {
         println!("{json}");
         eprintln!("smoke mode: not writing {out_path}");
@@ -163,8 +251,10 @@ fn main() {
         eprintln!("wrote {out_path}");
     }
 
-    // Guard the headline claim: the grid must beat the linear scan by a
-    // wide margin on fan-out at ≥1k nodes (CI smoke skips — sizes differ).
+    // Guard the headline claims (CI smoke skips — sizes differ):
+    // the grid must beat the linear scan by a wide margin on fan-out at
+    // ≥1k nodes, and incremental recompute must beat the eager oracle by
+    // ≥5× on full-stack convergence at 4096 nodes.
     if !smoke {
         let at_1k = fan_rows.iter().find(|r| r.nodes == 1024).expect("1k row");
         let speedup = at_1k.linear_us / at_1k.grid_us;
@@ -172,13 +262,28 @@ fn main() {
             speedup >= 5.0,
             "grid fan-out speedup at 1k nodes regressed to {speedup:.1}× (< 5×)"
         );
+        let at_4k = rec_rows.iter().find(|r| r.nodes == 4096).expect("4k recompute row");
+        let speedup = at_4k.eager_ms.expect("eager measured at 4k") / at_4k.incremental_ms;
+        assert!(
+            speedup >= 5.0,
+            "incremental recompute speedup at 4096 nodes regressed to {speedup:.1}× (< 5×)"
+        );
+        let at_10k = rec_rows.iter().find(|r| r.nodes == 10_000).expect("10k recompute row");
+        assert!(at_10k.frames > 0, "the 10k-node full-stack convergence run transmitted nothing");
     }
 }
 
-fn render_json(fan: &[FanOutRow], conv: &[ConvergenceRow], broadcasts: usize) -> String {
+fn render_json(
+    fan: &[FanOutRow],
+    conv: &[ConvergenceRow],
+    rec: &[RecomputeRow],
+    broadcasts: usize,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"benchmark\": \"spatial-grid radio index vs linear scan\",\n");
+    s.push_str(
+        "  \"benchmark\": \"spatial-grid radio index vs linear scan; incremental vs eager OLSR recompute\",\n",
+    );
     s.push_str("  \"command\": \"cargo run --release -p trustlink-bench --bin scale\",\n");
     s.push_str(&format!(
         "  \"config\": {{ \"radio_range_m\": {RANGE}, \"mean_degree\": {MEAN_DEGREE}, \"placement\": \"random_geometric\", \"broadcasts_timed\": {broadcasts} }},\n"
@@ -206,6 +311,25 @@ fn render_json(fan: &[FanOutRow], conv: &[ConvergenceRow], broadcasts: usize) ->
             r.linear_ms,
             r.grid_ms,
             r.linear_ms / r.grid_ms
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"full_stack_recompute\": [\n");
+    for (i, r) in rec.iter().enumerate() {
+        let sep = if i + 1 == rec.len() { "" } else { "," };
+        let (eager, speedup, eager_bfs) = match (r.eager_ms, r.eager_bfs) {
+            (Some(e), Some(b)) => {
+                (format!("{e:.0}"), format!("{:.2}", e / r.incremental_ms), b.to_string())
+            }
+            _ => ("null".to_string(), "null".to_string(), "null".to_string()),
+        };
+        s.push_str(&format!(
+            "    {{ \"nodes\": {nodes}, \"sim_secs\": {secs}, \"frames\": {frames}, \"eager_wall_ms\": {eager}, \"incremental_wall_ms\": {incr:.0}, \"speedup\": {speedup}, \"eager_bfs_runs\": {eager_bfs}, \"incremental_bfs_runs\": {incr_bfs} }}{sep}\n",
+            nodes = r.nodes,
+            secs = r.sim_secs,
+            frames = r.frames,
+            incr = r.incremental_ms,
+            incr_bfs = r.incremental_bfs,
         ));
     }
     s.push_str("  ]\n}\n");

@@ -300,6 +300,13 @@ impl<H: OlsrHooks> DetectorNode<H> {
 
     fn run_analysis(&mut self, ctx: &mut Context<'_>) {
         let now = ctx.now();
+        // 0. Bring the routing substrate's derived state (and therefore its
+        // audit log) up to date before tailing it. With the incremental
+        // recompute mode this is what guarantees every state transition is
+        // logged within the analysis batch containing its moment — the
+        // eager oracle and the incremental mode then feed this detector
+        // identical per-batch evidence.
+        self.olsr.refresh(ctx);
         // 1. Tail our own audit log.
         let new_lines: Vec<(SimTime, String)> = {
             let (lines, next) = ctx.log_buffer().read_from(self.cursor);

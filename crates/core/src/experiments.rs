@@ -14,7 +14,38 @@
 
 use trustlink_trust::confidence::margin_of_error;
 
-use crate::rounds::{RoleKind, RoundConfig, RoundEngine};
+use crate::rounds::{RoleKind, RoundConfig, RoundEngine, RoundTrace};
+
+/// Runs the configurations across a `std::thread::scope` worker pool (one
+/// worker per available core, pulling work from a shared index so a slow
+/// run never idles the other cores) and returns the traces in input
+/// order. Each run is a pure function of its configuration (seed
+/// included), so the parallel sweep is bit-identical to the serial one —
+/// only wall time changes.
+fn run_rounds_parallel(cfgs: Vec<RoundConfig>, rounds: u32) -> Vec<RoundTrace> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    if cfgs.is_empty() {
+        return Vec::new();
+    }
+    let width = std::thread::available_parallelism().map_or(4, |n| n.get()).min(cfgs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RoundTrace>>> = cfgs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..width {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cfg) = cfgs.get(i) else { break };
+                let trace = RoundEngine::new(cfg.clone()).run(rounds);
+                *slots[i].lock().expect("result slot poisoned") = Some(trace);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot poisoned").expect("worker filled every slot"))
+        .collect()
+}
 
 /// One labelled line of a figure.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,16 +152,72 @@ pub fn fig2_forgetting(cfg: RoundConfig, rounds: u32) -> Figure {
 /// result `Detect(A, I)` per round for several liar counts; labels carry
 /// the liar percentage among the witnesses.
 pub fn fig3_liar_impact(base: RoundConfig, liar_counts: &[usize], rounds: u32) -> Figure {
-    let mut series = Vec::new();
-    for &n_liars in liar_counts {
-        let cfg = RoundConfig { n_liars, ..base.clone() };
-        let witnesses = cfg.n_nodes - 2;
-        let pct = 100.0 * n_liars as f64 / witnesses as f64;
-        let trace = RoundEngine::new(cfg).run(rounds);
-        series.push(Series::from_rounds(format!("{pct:.1}% liars"), &trace.detect));
-    }
+    let witnesses = base.n_nodes - 2;
+    let cfgs: Vec<RoundConfig> =
+        liar_counts.iter().map(|&n_liars| RoundConfig { n_liars, ..base.clone() }).collect();
+    let traces = run_rounds_parallel(cfgs, rounds);
+    let series = liar_counts
+        .iter()
+        .zip(&traces)
+        .map(|(&n_liars, trace)| {
+            let pct = 100.0 * n_liars as f64 / witnesses as f64;
+            Series::from_rounds(format!("{pct:.1}% liars"), &trace.detect)
+        })
+        .collect();
     Figure {
         title: "Figure 3: Impact of liars on the detection".to_string(),
+        x_label: "investigation round".to_string(),
+        y_label: "Detect(A,I)".to_string(),
+        series,
+    }
+}
+
+/// **Figure 3 with confidence bands**: the liar-impact sweep repeated over
+/// `seeds` (≥ 5 recommended) instead of a single RNG draw, every
+/// `(liar count, seed)` run fanned out across `std::thread::scope`
+/// threads. Per liar count, three series are emitted — `… (mean)`,
+/// `… (min)` and `… (max)` of `Detect(A, I)` per round — so the paper's
+/// Figure 3 shape claims can be read against run-to-run spread rather
+/// than one trajectory.
+pub fn fig3_liar_impact_banded(
+    base: RoundConfig,
+    liar_counts: &[usize],
+    rounds: u32,
+    seeds: &[u64],
+) -> Figure {
+    assert!(!seeds.is_empty(), "banded sweep needs at least one seed");
+    let witnesses = base.n_nodes - 2;
+    // One run per (liar count, seed), flattened in deterministic order.
+    let cfgs: Vec<RoundConfig> = liar_counts
+        .iter()
+        .flat_map(|&n_liars| seeds.iter().map(move |&seed| (n_liars, seed)).collect::<Vec<_>>())
+        .map(|(n_liars, seed)| RoundConfig { n_liars, seed, ..base.clone() })
+        .collect();
+    let traces = run_rounds_parallel(cfgs, rounds);
+    let mut series = Vec::new();
+    for (li, &n_liars) in liar_counts.iter().enumerate() {
+        let pct = 100.0 * n_liars as f64 / witnesses as f64;
+        let group = &traces[li * seeds.len()..(li + 1) * seeds.len()];
+        let n_rounds = group[0].detect.len();
+        let mut mean = vec![0.0; n_rounds];
+        let mut min = vec![f64::INFINITY; n_rounds];
+        let mut max = vec![f64::NEG_INFINITY; n_rounds];
+        for trace in group {
+            for (r, &d) in trace.detect.iter().enumerate() {
+                mean[r] += d / seeds.len() as f64;
+                min[r] = min[r].min(d);
+                max[r] = max[r].max(d);
+            }
+        }
+        series.push(Series::from_rounds(format!("{pct:.1}% liars (mean)"), &mean));
+        series.push(Series::from_rounds(format!("{pct:.1}% liars (min)"), &min));
+        series.push(Series::from_rounds(format!("{pct:.1}% liars (max)"), &max));
+    }
+    Figure {
+        title: format!(
+            "Figure 3: Impact of liars on the detection (bands over {} seeds)",
+            seeds.len()
+        ),
         x_label: "investigation round".to_string(),
         y_label: "Detect(A,I)".to_string(),
         series,
@@ -161,30 +248,31 @@ pub fn confidence_sweep(confidence_levels: &[f64], max_n: usize) -> Figure {
 /// The ablation suite: each series is the `Detect` trajectory of the
 /// default configuration with one mechanism changed.
 pub fn ablations(base: RoundConfig, rounds: u32) -> Figure {
-    let mut series = Vec::new();
-
-    let default_trace = RoundEngine::new(base.clone()).run(rounds);
-    series.push(Series::from_rounds("full system", &default_trace.detect));
-
-    let unweighted = RoundConfig { trust_weighting: false, ..base.clone() };
-    let trace = RoundEngine::new(unweighted).run(rounds);
-    series.push(Series::from_rounds("no trust weighting", &trace.detect));
-
+    let mut labelled: Vec<(String, RoundConfig)> = vec![
+        ("full system".to_string(), base.clone()),
+        ("no trust weighting".to_string(), RoundConfig { trust_weighting: false, ..base.clone() }),
+    ];
     for beta in [0.5, 0.99] {
-        let cfg = RoundConfig { beta, ..base.clone() };
-        let trace = RoundEngine::new(cfg).run(rounds);
-        series.push(Series::from_rounds(format!("beta={beta}"), &trace.detect));
+        labelled.push((format!("beta={beta}"), RoundConfig { beta, ..base.clone() }));
     }
-
     for p in [1.0, 0.6] {
-        let cfg = RoundConfig { answer_probability: p, ..base.clone() };
-        let trace = RoundEngine::new(cfg).run(rounds);
-        series.push(Series::from_rounds(format!("answer_prob={p}"), &trace.detect));
+        labelled.push((
+            format!("answer_prob={p}"),
+            RoundConfig { answer_probability: p, ..base.clone() },
+        ));
     }
+    labelled.push((
+        "flat gravity".to_string(),
+        RoundConfig { gravity: trustlink_trust::value::GravityCatalogue::flat(0.1), ..base },
+    ));
 
-    let flat = RoundConfig { gravity: trustlink_trust::value::GravityCatalogue::flat(0.1), ..base };
-    let trace = RoundEngine::new(flat).run(rounds);
-    series.push(Series::from_rounds("flat gravity", &trace.detect));
+    let (labels, cfgs): (Vec<String>, Vec<RoundConfig>) = labelled.into_iter().unzip();
+    let traces = run_rounds_parallel(cfgs, rounds);
+    let series = labels
+        .into_iter()
+        .zip(&traces)
+        .map(|(label, trace)| Series::from_rounds(label, &trace.detect))
+        .collect();
 
     Figure {
         title: "Ablations: Detect(A,I) trajectories".to_string(),
@@ -353,6 +441,53 @@ mod tests {
             // And near -0.8 at the end.
             assert!(s.last_y().unwrap() < -0.7, "{} ended at {}", s.label, s.last_y().unwrap());
         }
+    }
+
+    #[test]
+    fn fig3_banded_bands_bracket_the_mean() {
+        let cfg = RoundConfig {
+            initial_trust: InitialTrust::Fixed(0.5),
+            answer_probability: 1.0,
+            ..base()
+        };
+        let fig = fig3_liar_impact_banded(cfg.clone(), &[2, 6], 15, &[1, 2, 3, 4, 5]);
+        assert_eq!(fig.series.len(), 6); // (mean, min, max) per liar count
+        for triple in fig.series.chunks(3) {
+            let (mean, min, max) = (&triple[0], &triple[1], &triple[2]);
+            assert!(mean.label.ends_with("(mean)") && min.label.ends_with("(min)"));
+            for r in 1..=15 {
+                let (m, lo, hi) = (
+                    mean.y_at_round(r).unwrap(),
+                    min.y_at_round(r).unwrap(),
+                    max.y_at_round(r).unwrap(),
+                );
+                assert!(lo <= m + 1e-12 && m <= hi + 1e-12, "round {r}: {lo} {m} {hi}");
+            }
+            // The paper's shape must hold for the *worst* draw too.
+            assert!(max.y_at_round(10).unwrap() < -0.4, "{}", max.label);
+        }
+        // The single-seed sweep must agree with the band run for its seed.
+        let single = fig3_liar_impact(RoundConfig { seed: 1, ..cfg.clone() }, &[2], 15);
+        let banded = fig3_liar_impact_banded(RoundConfig { seed: 9, ..cfg }, &[2], 15, &[1]);
+        assert_eq!(single.series[0].points, banded.series[0].points, "mean of one seed == run");
+    }
+
+    #[test]
+    fn parallel_sweeps_match_serial_results() {
+        // `ablations`/`fig3_liar_impact` fan across threads; each run is a
+        // pure function of its config, so repeating must be bit-identical.
+        let cfg = RoundConfig {
+            n_liars: 4,
+            initial_trust: InitialTrust::Fixed(0.5),
+            answer_probability: 1.0,
+            ..base()
+        };
+        let a = fig3_liar_impact(cfg.clone(), &paper_liar_counts(), 10);
+        let b = fig3_liar_impact(cfg.clone(), &paper_liar_counts(), 10);
+        assert_eq!(a, b);
+        let x = ablations(cfg.clone(), 10);
+        let y = ablations(cfg, 10);
+        assert_eq!(x, y);
     }
 
     #[test]

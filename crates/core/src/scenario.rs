@@ -13,10 +13,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trustlink_attacks::liar::LiarPolicy;
 use trustlink_attacks::spoof::LinkSpoofing;
-use trustlink_olsr::types::OlsrConfig;
+use trustlink_olsr::types::{OlsrConfig, RecomputeMode};
 use trustlink_sim::{
-    topologies, Arena, NodeId, Position, RadioConfig, ScanMode, SimDuration, Simulator,
-    SimulatorBuilder,
+    topologies, Arena, MobilityModel, NodeId, Position, RadioConfig, ScanMode, SimDuration,
+    Simulator, SimulatorBuilder,
 };
 
 use crate::detector::{DetectorConfig, DetectorNode, VerdictRecord};
@@ -74,6 +74,8 @@ pub struct ScenarioBuilder {
     duration: SimDuration,
     scan_mode: ScanMode,
     arena_override: Option<(f64, f64)>,
+    mobility: MobilityModel,
+    mobility_tick: Option<SimDuration>,
 }
 
 impl ScenarioBuilder {
@@ -91,6 +93,8 @@ impl ScenarioBuilder {
             duration: SimDuration::from_secs(60),
             scan_mode: ScanMode::default(),
             arena_override: None,
+            mobility: MobilityModel::Stationary,
+            mobility_tick: None,
         }
     }
 
@@ -145,6 +149,29 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the OLSR recompute scheduling used by every node
+    /// ([`RecomputeMode::Incremental`] by default). [`RecomputeMode::Eager`]
+    /// is the per-packet-recompute oracle kept for equivalence testing and
+    /// baseline benchmarking; both transmit byte-identical frames per seed.
+    pub fn recompute_mode(mut self, mode: RecomputeMode) -> Self {
+        self.olsr.recompute = mode;
+        self
+    }
+
+    /// Applies a mobility model to every node (topologies give the initial
+    /// placement). Opens the churn scenarios the paper leaves out: the
+    /// mobile detection-latency suite rides on this knob.
+    pub fn mobility(mut self, model: MobilityModel) -> Self {
+        self.mobility = model;
+        self
+    }
+
+    /// Overrides the mobility tick granularity (default 500 ms).
+    pub fn mobility_tick(mut self, tick: SimDuration) -> Self {
+        self.mobility_tick = Some(tick);
+        self
+    }
+
     /// Overrides the simulation arena dimensions.
     ///
     /// By default the arena is derived from the topology (random
@@ -194,11 +221,14 @@ impl ScenarioBuilder {
             Some((w, h)) => Arena::new(w, h),
             None => self.sampling_arena().unwrap_or_else(|| Arena::new(100_000.0, 100_000.0)),
         };
-        let mut sim = SimulatorBuilder::new(self.seed)
+        let mut builder = SimulatorBuilder::new(self.seed)
             .radio(self.radio.clone())
             .arena(arena)
-            .scan_mode(self.scan_mode)
-            .build();
+            .scan_mode(self.scan_mode);
+        if let Some(tick) = self.mobility_tick {
+            builder = builder.mobility_tick(tick);
+        }
+        let mut sim = builder.build();
         for (i, pos) in positions.iter().enumerate() {
             if let Some(spoofing) = self.attackers.get(&i) {
                 // Attackers run the detector stack too (every node hosts the
@@ -208,14 +238,14 @@ impl ScenarioBuilder {
                     self.detector.clone(),
                     spoofing.clone(),
                 );
-                sim.add_node(Box::new(node), *pos);
+                sim.add_mobile_node(Box::new(node), *pos, self.mobility.clone());
             } else {
                 let mut cfg = self.detector.clone();
                 if let Some(policy) = self.liars.get(&i) {
                     cfg.liar_policy = policy.clone();
                 }
                 let node = DetectorNode::new(self.olsr.clone(), cfg);
-                sim.add_node(Box::new(node), *pos);
+                sim.add_mobile_node(Box::new(node), *pos, self.mobility.clone());
             }
         }
         sim.run_for(self.duration);

@@ -30,10 +30,14 @@
 //! let mut extractor = EventExtractor::new();
 //! let mut engine = SignatureEngine::with_builtin(SimDuration::from_secs(60));
 //!
-//! // The detector tails its own audit log:
+//! // The detector tails its own audit log, then closes the analysis slot
+//! // (E1 replacement is judged per slot, so transient MPR flaps — and the
+//! // router's recompute scheduling — cannot influence detection):
 //! let t0 = SimTime::from_secs(1);
 //! extractor.ingest_line(t0, "MPR_SET mprs=[N2]").unwrap();
-//! for ev in extractor.ingest_line(SimTime::from_secs(2), "MPR_SET mprs=[N3]").unwrap() {
+//! extractor.tick(t0, SimDuration::from_secs(600));
+//! extractor.ingest_line(SimTime::from_secs(2), "MPR_SET mprs=[N3]").unwrap();
+//! for ev in extractor.tick(SimTime::from_secs(2), SimDuration::from_secs(600)) {
 //!     engine.observe(&ev);
 //! }
 //! // The replacement leaves N3 as a partial link-spoofing suspect:

@@ -67,13 +67,13 @@ pub mod prelude {
     pub use crate::hooks::{NoHooks, OlsrHooks};
     pub use crate::logging::{parse_line, LogRecord};
     pub use crate::message::{HelloMessage, MessageBody, Packet, TcMessage};
-    pub use crate::node::{OlsrNode, ReceivedData};
+    pub use crate::node::{OlsrNode, ReceivedData, RecomputeStats};
     pub use crate::routing::{Route, RoutingTable};
-    pub use crate::types::{OlsrConfig, SequenceNumber, Willingness};
+    pub use crate::types::{OlsrConfig, RecomputeMode, SequenceNumber, Willingness};
 }
 
 pub use hooks::{NoHooks, OlsrHooks};
 pub use logging::{parse_line, LogRecord};
-pub use node::{OlsrNode, ReceivedData};
+pub use node::{OlsrNode, ReceivedData, RecomputeStats};
 pub use routing::RoutingTable;
-pub use types::{OlsrConfig, Willingness};
+pub use types::{OlsrConfig, RecomputeMode, Willingness};

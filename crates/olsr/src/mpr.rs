@@ -59,6 +59,52 @@ pub struct MprWorkspace {
     sole_cover: Vec<NodeId>,
 }
 
+/// A reusable buffer of [`MprCandidate`]s.
+///
+/// Candidate construction used to allocate one `Vec<MprCandidate>` plus
+/// one `covers` vector per symmetric neighbor on *every* recomputation.
+/// The pool recycles both: [`clear`](CandidatePool::clear) parks the
+/// `covers` allocations of the previous round, and
+/// [`push`](CandidatePool::push) hands them back out. Once warm, building
+/// the candidate set allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CandidatePool {
+    cands: Vec<MprCandidate>,
+    spare_covers: Vec<Vec<NodeId>>,
+}
+
+impl CandidatePool {
+    /// Empties the pool, keeping every allocation for reuse.
+    pub fn clear(&mut self) {
+        for mut c in self.cands.drain(..) {
+            c.covers.clear();
+            self.spare_covers.push(std::mem::take(&mut c.covers));
+        }
+    }
+
+    /// Starts a new candidate for `addr`; returns its `covers` buffer
+    /// (empty, capacity recycled) for the caller to fill.
+    pub fn push(&mut self, addr: NodeId, willingness: Willingness) -> &mut Vec<NodeId> {
+        let covers = self.spare_covers.pop().unwrap_or_default();
+        self.cands.push(MprCandidate { addr, willingness, covers, degree: 0 });
+        let c = self.cands.last_mut().expect("just pushed");
+        &mut c.covers
+    }
+
+    /// Finalizes the most recent candidate: sets its degree to the cover
+    /// count (the approximation documented on [`MprCandidate::degree`]).
+    pub fn seal_last(&mut self) {
+        if let Some(c) = self.cands.last_mut() {
+            c.degree = c.covers.len();
+        }
+    }
+
+    /// The candidates built so far.
+    pub fn candidates(&self) -> &[MprCandidate] {
+        &self.cands
+    }
+}
+
 /// Inserts `addr` into the sorted set `out`; `true` if newly added.
 fn insert_sorted(out: &mut Vec<NodeId>, addr: NodeId) -> bool {
     match out.binary_search(&addr) {

@@ -18,14 +18,14 @@ use crate::message::{
     DataMessage, HelloMessage, LinkCode, LinkGroup, LinkType, Message, MessageBody, MidMessage,
     NeighborType, Packet, TcMessage,
 };
-use crate::mpr::MprWorkspace;
+use crate::mpr::{CandidatePool, MprWorkspace};
 use crate::routing::{RoutingTable, RoutingWorkspace};
 use crate::state::{
     DuplicateSet, InterfaceAssociationSet, LinkSet, LinkStatus, LinkTuple, MprSelectorSet,
     NeighborSet, TopologySet, TwoHopSet,
 };
-use crate::types::{OlsrConfig, SequenceNumber, Willingness};
-use crate::wire::{decode_packet, encode_packet_into};
+use crate::types::{OlsrConfig, RecomputeMode, SequenceNumber, Willingness};
+use crate::wire::{decode_packet_with, encode_packet_into, DecodeArena};
 
 /// Timer tokens used by the OLSR state machine. Wrappers layering their own
 /// timers on top must use tokens ≥ [`TIMER_USER_BASE`].
@@ -34,8 +34,44 @@ pub const TIMER_HELLO: TimerToken = TimerToken(1);
 pub const TIMER_TC: TimerToken = TimerToken(2);
 /// Periodic purge/recompute timer.
 pub const TIMER_REFRESH: TimerToken = TimerToken(3);
+/// Debounced-recompute timer ([`RecomputeMode::Incremental`] only): armed
+/// when a reception invalidates state, so a burst of receptions inside one
+/// debounce window coalesces into a single recomputation.
+pub const TIMER_RECOMPUTE: TimerToken = TimerToken(4);
 /// First token value free for applications wrapping an [`OlsrNode`].
 pub const TIMER_USER_BASE: u64 = 1000;
+
+/// Which recompute inputs a burst of receptions has invalidated since the
+/// last [`OlsrNode::ensure_fresh`], tracked per domain so MPR selection
+/// reruns only when the 1/2-hop neighborhood actually changed and the
+/// routing BFS only when the neighborhood or the TC-learned topology did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ChangeFlags {
+    /// The 1-hop/2-hop neighborhood changed: link status, two-hop
+    /// coverage, a neighbor's willingness, or the MPR exclusion list.
+    nbr: bool,
+    /// The TC-learned topology changed.
+    topo: bool,
+}
+
+impl ChangeFlags {
+    fn any(self) -> bool {
+        self.nbr || self.topo
+    }
+}
+
+/// Counters for the recompute pipeline, exposed for tests and tooling:
+/// the incremental mode's whole point is that `mpr_runs`/`route_runs`
+/// grow much slower than received packets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecomputeStats {
+    /// Times [`ensure_fresh`](OlsrNode::ensure_fresh) ran (cheap, gated).
+    pub flushes: u64,
+    /// Times MPR selection actually executed.
+    pub mpr_runs: u64,
+    /// Times the routing BFS actually executed.
+    pub route_runs: u64,
+}
 
 /// A unicast data payload delivered to this node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,7 +117,10 @@ pub struct OlsrNode<H: OlsrHooks = NoHooks> {
     msg_seq: SequenceNumber,
     pkt_seq: SequenceNumber,
     inbox: Vec<ReceivedData>,
-    dirty: bool,
+    flags: ChangeFlags,
+    /// `true` while a [`TIMER_RECOMPUTE`] is pending (incremental mode).
+    debounce_armed: bool,
+    stats: RecomputeStats,
     started: bool,
     /// Alias addresses this node advertises in MIDs (usually empty).
     pub mid_aliases: Vec<NodeId>,
@@ -94,12 +133,23 @@ pub struct OlsrNode<H: OlsrHooks = NoHooks> {
     excluded_mprs: std::collections::BTreeSet<NodeId>,
     /// Reused wire-encode scratch: transmissions allocate only the frame.
     wire_scratch: Vec<u8>,
+    /// Reused wire-decode buffers (see [`DecodeArena`]): per-reception
+    /// decoding allocates nothing once warm.
+    decode_arena: DecodeArena,
     /// Reused MPR-selection scratch (see [`MprWorkspace`]).
     mpr_ws: MprWorkspace,
+    /// Reused MPR candidate buffers (see [`CandidatePool`]).
+    cand_pool: CandidatePool,
     /// Reused MPR output buffer, swapped with `mprs` on change.
     mpr_scratch: Vec<NodeId>,
+    /// Reused 2-hop target buffer for MPR selection.
+    targets_scratch: Vec<NodeId>,
+    /// Reused symmetric-neighbor buffer, swapped with `prev_sym` on flush.
+    sym_scratch: Vec<NodeId>,
     /// Reused route-calculation scratch (see [`RoutingWorkspace`]).
     route_ws: RoutingWorkspace,
+    /// Reused routing-table double buffer, swapped with `routes` on change.
+    routes_scratch: RoutingTable,
 }
 
 impl OlsrNode<NoHooks> {
@@ -136,14 +186,21 @@ impl<H: OlsrHooks> OlsrNode<H> {
             msg_seq: SequenceNumber(0),
             pkt_seq: SequenceNumber(0),
             inbox: Vec::new(),
-            dirty: false,
+            flags: ChangeFlags::default(),
+            debounce_armed: false,
+            stats: RecomputeStats::default(),
             started: false,
             mid_aliases: Vec::new(),
             excluded_mprs: std::collections::BTreeSet::new(),
             wire_scratch: Vec::new(),
+            decode_arena: DecodeArena::default(),
             mpr_ws: MprWorkspace::default(),
+            cand_pool: CandidatePool::default(),
             mpr_scratch: Vec::new(),
+            targets_scratch: Vec::new(),
+            sym_scratch: Vec::new(),
             route_ws: RoutingWorkspace::default(),
+            routes_scratch: RoutingTable::default(),
         }
     }
 
@@ -213,14 +270,14 @@ impl<H: OlsrHooks> OlsrNode<H> {
     /// `WILL_NEVER` from now on). Takes effect at the next recomputation.
     pub fn exclude_from_mprs(&mut self, addr: NodeId) {
         if self.excluded_mprs.insert(addr) {
-            self.dirty = true;
+            self.flags.nbr = true;
         }
     }
 
     /// Lifts an MPR exclusion.
     pub fn readmit_to_mprs(&mut self, addr: NodeId) {
         if self.excluded_mprs.remove(&addr) {
-            self.dirty = true;
+            self.flags.nbr = true;
         }
     }
 
@@ -232,6 +289,42 @@ impl<H: OlsrHooks> OlsrNode<H> {
     /// `true` once `on_start` ran.
     pub fn is_started(&self) -> bool {
         self.started
+    }
+
+    /// Recompute-pipeline counters (flushes vs actual MPR/BFS executions).
+    pub fn recompute_stats(&self) -> RecomputeStats {
+        self.stats
+    }
+
+    /// The MPR set this node would materialize at `now`, computed from the
+    /// live repositories without touching cached state. Independent of
+    /// recompute scheduling: both [`RecomputeMode`]s yield the same value
+    /// for the same reception history — the property
+    /// `tests/recompute_equivalence.rs` pins. Allocates; meant for tests
+    /// and tooling, not the hot path.
+    pub fn effective_mprs(&self, now: SimTime) -> Vec<NodeId> {
+        let sym = self.links.symmetric_neighbors(now);
+        let mut targets = Vec::new();
+        self.two_hop.two_hop_addrs_into(now, self.id, &sym, &mut targets);
+        let mut pool = CandidatePool::default();
+        fill_mpr_candidates(
+            &mut pool,
+            &self.two_hop,
+            &self.neighbors,
+            &self.excluded_mprs,
+            self.id,
+            &sym,
+            now,
+        );
+        crate::mpr::select_mprs(pool.candidates(), &targets)
+    }
+
+    /// The routing table this node would materialize at `now`, computed
+    /// from the live repositories. Same contract as
+    /// [`OlsrNode::effective_mprs`].
+    pub fn effective_routes(&self, now: SimTime) -> RoutingTable {
+        let sym = self.links.symmetric_neighbors(now);
+        RoutingTable::compute(self.id, &sym, &self.two_hop, &self.topology, now)
     }
 
     // ---- transmission helpers -------------------------------------------
@@ -260,6 +353,12 @@ impl<H: OlsrHooks> OlsrNode<H> {
         let mut asym = Vec::new();
         let mut lost = Vec::new();
         for tuple in self.links.iter() {
+            if tuple.until <= now {
+                // A wholly expired tuple is semantically purged, whether or
+                // not the sweep has physically removed it yet: advertising
+                // it would make HELLO content depend on purge timing.
+                continue;
+            }
             match tuple.status(now) {
                 LinkStatus::Symmetric => {
                     if self.mprs.contains(&tuple.neighbor) {
@@ -308,6 +407,10 @@ impl<H: OlsrHooks> OlsrNode<H> {
     }
 
     fn emit_hello(&mut self, ctx: &mut Context<'_>) {
+        // The HELLO groups SYM vs SYM_MPR by the materialized MPR set:
+        // refresh it first so emission content never depends on recompute
+        // scheduling (both modes materialize here, at the same instant).
+        self.ensure_fresh(ctx);
         let now = ctx.now();
         let mut hello = self.build_hello(now);
         if let Some(w) = self.hooks.willingness_override() {
@@ -333,6 +436,9 @@ impl<H: OlsrHooks> OlsrNode<H> {
     }
 
     fn emit_tc(&mut self, ctx: &mut Context<'_>) {
+        // TC content reads the selector sweep state and (for the richer
+        // redundancy levels) the materialized MPR set: refresh first.
+        self.ensure_fresh(ctx);
         let now = ctx.now();
         let selectors = self.selectors.addrs(now);
         if selectors.is_empty() && self.last_advertised.is_empty() {
@@ -366,7 +472,13 @@ impl<H: OlsrHooks> OlsrNode<H> {
             body: MessageBody::Tc(tc),
         };
         // Record own message so an echoed copy is not reprocessed.
-        self.duplicates.record(self.id, self.msg_seq, true, now + self.config.duplicate_hold_time);
+        self.duplicates.record(
+            self.id,
+            self.msg_seq,
+            true,
+            now + self.config.duplicate_hold_time,
+            now,
+        );
         self.transmit(ctx, vec![msg]);
     }
 
@@ -387,6 +499,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
             self.msg_seq,
             true,
             ctx.now() + self.config.duplicate_hold_time,
+            ctx.now(),
         );
         self.transmit(ctx, vec![msg]);
     }
@@ -409,6 +522,9 @@ impl<H: OlsrHooks> OlsrNode<H> {
             self.inbox.push(ReceivedData { src: self.id, at: now, payload });
             return true;
         }
+        // The next hop reads the materialized routing table: refresh it so
+        // data-plane decisions never depend on recompute scheduling.
+        self.ensure_fresh(ctx);
         let next = self.next_hop_for(dst, avoid, now);
         let Some(next) = next else {
             ctx.log(LogRecord::DataNoRoute { dst }.to_line());
@@ -468,8 +584,10 @@ impl<H: OlsrHooks> OlsrNode<H> {
 
         // Link sensing: hearing them refreshes the asym validity; being
         // listed by them (heard in both directions) makes it symmetric.
+        // A tuple whose expiry already passed is semantically purged — its
+        // previous status is `None`, whichever mode got to the sweep first.
         let heard_us = claimed_sym.contains(&self.id) || claimed_asym.contains(&self.id);
-        let before = self.links.get(originator).map(|t| t.status(now));
+        let before = self.links.get(originator).filter(|t| t.until > now).map(|t| t.status(now));
         self.links.upsert(LinkTuple {
             neighbor: originator,
             sym_until: if heard_us { hold } else { SimTime::ZERO },
@@ -483,9 +601,16 @@ impl<H: OlsrHooks> OlsrNode<H> {
             .any(|g| g.code.link == LinkType::Lost && g.addrs.contains(&self.id));
         if lost_us {
             self.links.declare_lost(originator, now);
+            // Losing the link voids the sender's 2-hop contributions and
+            // its selector status right here, at reception time: they are
+            // predicated on a symmetric link that no longer exists.
+            if self.two_hop.remove_via(originator, now) > 0 {
+                self.flags.nbr = true;
+            }
         }
         let after = self.links.get(originator).map(|t| t.status(now));
         if before != after {
+            self.flags.nbr = true;
             match after {
                 Some(LinkStatus::Symmetric) => {
                     ctx.log(LogRecord::LinkSymmetric { neighbor: originator }.to_line())
@@ -498,31 +623,35 @@ impl<H: OlsrHooks> OlsrNode<H> {
         }
 
         // Neighbor set (symmetric only) + willingness bookkeeping.
-        if after == Some(LinkStatus::Symmetric) {
-            self.neighbors.upsert(originator, hello.willingness);
+        if after == Some(LinkStatus::Symmetric)
+            && self.neighbors.upsert(originator, hello.willingness)
+        {
+            self.flags.nbr = true;
         }
 
-        // 2-hop set: the sender's claimed symmetric neighbors, minus us.
-        for &th in &claimed_sym {
-            if th != self.id {
-                let already_known = self.two_hop.reachable_via(originator, now).contains(&th);
-                self.two_hop.upsert(originator, th, hold);
-                if !already_known {
+        // 2-hop set: the sender's claimed symmetric neighbors, minus us —
+        // recorded only while the HELLO itself proves a live symmetric
+        // link (it lists us, and does not declare us lost). This keeps
+        // every 2-hop tuple's validity bounded by its `via`'s symmetric
+        // validity, which is what makes the expiry sweeps pure GC.
+        if heard_us && !lost_us {
+            for &th in &claimed_sym {
+                if th != self.id && self.two_hop.upsert(originator, th, hold, now) {
+                    self.flags.nbr = true;
                     ctx.log(LogRecord::TwoHopAdded { via: originator, addr: th }.to_line());
                 }
             }
         }
 
-        // MPR selector set: did they pick us?
-        if hello.mpr_neighbors().contains(&self.id) {
-            if self.selectors.upsert(originator, hold) {
+        // MPR selector set: did they pick us? Only a HELLO that sustains a
+        // live symmetric link can (re)assert selection.
+        if hello.mpr_neighbors().contains(&self.id) && heard_us && !lost_us {
+            if self.selectors.upsert(originator, hold, now) {
                 ctx.log(LogRecord::MprSelectorAdded { addr: originator }.to_line());
             }
-        } else if self.selectors.remove(originator) {
+        } else if self.selectors.remove(originator, now) {
             ctx.log(LogRecord::MprSelectorLost { addr: originator }.to_line());
         }
-
-        self.dirty = true;
     }
 
     fn process_tc(&mut self, ctx: &mut Context<'_>, msg: &Message, tc: &TcMessage, from: NodeId) {
@@ -537,8 +666,8 @@ impl<H: OlsrHooks> OlsrNode<H> {
             .to_line(),
         );
         let until = now + msg.vtime;
-        if self.topology.apply_tc(msg.originator, tc.ansn, &tc.advertised, until) {
-            self.dirty = true;
+        if self.topology.apply_tc(msg.originator, tc.ansn, &tc.advertised, until, now) {
+            self.flags.topo = true;
         }
     }
 
@@ -561,7 +690,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
                 }
                 .to_line(),
             );
-            this.duplicates.record(msg.originator, msg.seq, false, dup_until);
+            this.duplicates.record(msg.originator, msg.seq, false, dup_until, now);
         };
 
         if self.duplicates.retransmitted(msg.originator, msg.seq, now) {
@@ -587,14 +716,14 @@ impl<H: OlsrHooks> OlsrNode<H> {
             // A drop attacker stays silent: no log line either — its own
             // logs would incriminate it. The *absence* of forwarding is what
             // neighbors can observe (paper evidence E2).
-            self.duplicates.record(msg.originator, msg.seq, true, dup_until);
+            self.duplicates.record(msg.originator, msg.seq, true, dup_until, now);
             return;
         }
         let mut fwd = msg.clone();
         fwd.ttl -= 1;
         fwd.hop_count += 1;
         self.hooks.on_forward(&mut fwd, from);
-        self.duplicates.record(msg.originator, msg.seq, true, dup_until);
+        self.duplicates.record(msg.originator, msg.seq, true, dup_until, now);
         ctx.log(
             LogRecord::Forwarded { originator: msg.originator, kind, seq: msg.seq.0, from }
                 .to_line(),
@@ -621,6 +750,8 @@ impl<H: OlsrHooks> OlsrNode<H> {
         if !self.hooks.should_forward_data(data, from) {
             return; // black hole: swallowed without trace
         }
+        // Same contract as `send_data`: route from fresh state.
+        self.ensure_fresh(ctx);
         let next = self.next_hop_for(data.dst, data.avoid, now);
         let Some(next) = next else {
             ctx.log(LogRecord::DataNoRoute { dst: data.dst }.to_line());
@@ -636,9 +767,11 @@ impl<H: OlsrHooks> OlsrNode<H> {
     }
 
     fn handle_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
-        let packet = match decode_packet(payload) {
+        let mut arena = std::mem::take(&mut self.decode_arena);
+        let packet = match decode_packet_with(&mut arena, payload) {
             Ok(p) => p,
             Err(_) => {
+                self.decode_arena = arena;
                 ctx.log(LogRecord::DecodeError { from }.to_line());
                 return;
             }
@@ -695,109 +828,167 @@ impl<H: OlsrHooks> OlsrNode<H> {
                 }
             }
         }
-        if self.dirty {
-            self.recompute(ctx);
+        self.decode_arena = arena;
+        self.decode_arena.recycle(packet);
+        if self.flags.any() {
+            match self.config.recompute {
+                // The pre-incremental cadence: every state-changing packet
+                // pays a full recomputation immediately.
+                RecomputeMode::Eager => self.ensure_fresh(ctx),
+                // Change-aware: coalesce this burst behind the debounce
+                // timer (the next emission, data-plane use or analysis
+                // pass refreshes earlier if it comes first).
+                RecomputeMode::Incremental => {
+                    if !self.debounce_armed {
+                        self.debounce_armed = true;
+                        ctx.set_timer(self.config.recompute_debounce, TIMER_RECOMPUTE);
+                    }
+                }
+            }
         }
     }
 
-    // ---- periodic maintenance -------------------------------------------
+    // ---- state maintenance ----------------------------------------------
 
-    /// Purges expired state and recomputes MPRs and routes, logging every
-    /// observable change. Called after packet processing and on the refresh
-    /// timer.
-    fn recompute(&mut self, ctx: &mut Context<'_>) {
+    /// Brings every derived artifact up to date with the repositories *at
+    /// this instant*: expiry sweeps (min-expiry gated), the symmetric-
+    /// neighborhood delta, then — only for domains whose inputs actually
+    /// changed — MPR selection and the routing BFS, logging every
+    /// observable change.
+    ///
+    /// Every externally observable decision point calls this first
+    /// (HELLO/TC emission, data-plane sends and forwards, the detector's
+    /// analysis pass), which is what keeps [`RecomputeMode::Incremental`]
+    /// and [`RecomputeMode::Eager`] byte-identical on the air: both modes
+    /// materialize from identical repositories at identical instants.
+    fn ensure_fresh(&mut self, ctx: &mut Context<'_>) {
         let now = ctx.now();
-        self.dirty = false;
+        self.stats.flushes += 1;
+        let mut nbr_changed = self.flags.nbr;
+        let mut topo_changed = self.flags.topo;
+        self.flags = ChangeFlags::default();
 
-        // Expiry sweeps.
+        // Expiry sweeps. Link-tuple removals cannot change the symmetric
+        // set (an expired tuple was already non-symmetric); two-hop and
+        // topology removals invalidate MPR/route inputs.
         for dead in self.links.purge(now) {
             ctx.log(LogRecord::LinkLost { neighbor: dead }.to_line());
         }
-        for (via, addr) in self.two_hop.purge(now) {
-            ctx.log(LogRecord::TwoHopLost { via, addr }.to_line());
+        let dead_pairs = self.two_hop.purge(now);
+        if !dead_pairs.is_empty() {
+            nbr_changed = true;
+            for (via, addr) in dead_pairs {
+                ctx.log(LogRecord::TwoHopLost { via, addr }.to_line());
+            }
         }
         for addr in self.selectors.purge(now) {
             ctx.log(LogRecord::MprSelectorLost { addr }.to_line());
         }
-        self.topology.purge(now);
+        if !self.topology.purge(now).is_empty() {
+            topo_changed = true;
+        }
         self.duplicates.purge(now);
         self.ifaces.purge(now);
 
-        // Symmetric-neighborhood delta.
-        let sym = self.links.symmetric_neighbors(now);
-        for n in &sym {
-            if !self.prev_sym.contains(n) {
-                ctx.log(LogRecord::NeighborAdded { addr: *n }.to_line());
+        // Symmetric-neighborhood delta (cheap: O(degree) every flush; this
+        // is also what catches pure-time symmetry transitions that no
+        // reception announced).
+        let mut sym = std::mem::take(&mut self.sym_scratch);
+        self.links.symmetric_neighbors_into(now, &mut sym);
+        let prev = std::mem::take(&mut self.prev_sym);
+        if sym != prev {
+            nbr_changed = true;
+            for n in &sym {
+                if !prev.contains(n) {
+                    ctx.log(LogRecord::NeighborAdded { addr: *n }.to_line());
+                }
             }
-        }
-        for n in &self.prev_sym.clone() {
-            if !sym.contains(n) {
-                ctx.log(LogRecord::NeighborLost { addr: *n }.to_line());
-                self.neighbors.remove(*n);
-                self.two_hop.remove_via(*n);
-                if self.selectors.remove(*n) {
-                    ctx.log(LogRecord::MprSelectorLost { addr: *n }.to_line());
+            for n in &prev {
+                if !sym.contains(n) {
+                    ctx.log(LogRecord::NeighborLost { addr: *n }.to_line());
+                    self.neighbors.remove(*n);
+                    self.two_hop.remove_via(*n, now);
+                    if self.selectors.remove(*n, now) {
+                        ctx.log(LogRecord::MprSelectorLost { addr: *n }.to_line());
+                    }
                 }
             }
         }
-        self.prev_sym = sym.clone();
+        self.prev_sym = sym;
+        self.sym_scratch = prev; // recycle the allocation
 
-        // MPR selection.
-        let targets = self.two_hop.two_hop_addrs(now, self.id, &sym);
-        let candidates: Vec<crate::mpr::MprCandidate> = sym
-            .iter()
-            .map(|&n| {
-                let covers: Vec<NodeId> = self
-                    .two_hop
-                    .reachable_via(n, now)
-                    .into_iter()
-                    .filter(|t| *t != self.id && !sym.contains(t))
-                    .collect();
-                let willingness = if self.excluded_mprs.contains(&n) {
-                    Willingness::Never
-                } else {
-                    self.neighbors.get(n).map_or(Willingness::Default, |t| t.willingness)
-                };
-                crate::mpr::MprCandidate { addr: n, willingness, degree: covers.len(), covers }
-            })
-            .collect();
-        crate::mpr::select_mprs_with(
-            &mut self.mpr_ws,
-            &candidates,
-            &targets,
-            &mut self.mpr_scratch,
-        );
-        if self.mpr_scratch != self.mprs {
-            ctx.log(LogRecord::MprSet { mprs: self.mpr_scratch.clone() }.to_line());
-            std::mem::swap(&mut self.mprs, &mut self.mpr_scratch);
+        // MPR selection: only when the 1/2-hop neighborhood changed. The
+        // selection is a pure function of its inputs, so skipping it on
+        // unchanged inputs is exact, not an approximation.
+        if nbr_changed {
+            self.stats.mpr_runs += 1;
+            self.two_hop.two_hop_addrs_into(
+                now,
+                self.id,
+                &self.prev_sym,
+                &mut self.targets_scratch,
+            );
+            fill_mpr_candidates(
+                &mut self.cand_pool,
+                &self.two_hop,
+                &self.neighbors,
+                &self.excluded_mprs,
+                self.id,
+                &self.prev_sym,
+                now,
+            );
+            crate::mpr::select_mprs_with(
+                &mut self.mpr_ws,
+                self.cand_pool.candidates(),
+                &self.targets_scratch,
+                &mut self.mpr_scratch,
+            );
+            if self.mpr_scratch != self.mprs {
+                ctx.log(LogRecord::MprSet { mprs: self.mpr_scratch.clone() }.to_line());
+                std::mem::swap(&mut self.mprs, &mut self.mpr_scratch);
+            }
         }
 
-        // Routing table.
-        let new_routes = RoutingTable::compute_with(
-            &mut self.route_ws,
-            self.id,
-            &sym,
-            &self.two_hop,
-            &self.topology,
-            now,
-        );
-        let diff = self.routes.diff(&new_routes);
-        for r in &diff.added {
-            ctx.log(
-                LogRecord::RouteAdded { dest: r.dest, next_hop: r.next_hop, hops: r.hops }
-                    .to_line(),
+        // Routing table: only when the neighborhood or the topology
+        // changed (same exactness argument).
+        if nbr_changed || topo_changed {
+            self.stats.route_runs += 1;
+            RoutingTable::compute_avoiding_into(
+                &mut self.route_ws,
+                &mut self.routes_scratch,
+                self.id,
+                &self.prev_sym,
+                &self.two_hop,
+                &self.topology,
+                now,
+                None,
             );
+            let diff = self.routes.diff(&self.routes_scratch);
+            for r in &diff.added {
+                ctx.log(
+                    LogRecord::RouteAdded { dest: r.dest, next_hop: r.next_hop, hops: r.hops }
+                        .to_line(),
+                );
+            }
+            for r in &diff.changed {
+                ctx.log(
+                    LogRecord::RouteChanged { dest: r.dest, next_hop: r.next_hop, hops: r.hops }
+                        .to_line(),
+                );
+            }
+            for d in &diff.removed {
+                ctx.log(LogRecord::RouteLost { dest: *d }.to_line());
+            }
+            std::mem::swap(&mut self.routes, &mut self.routes_scratch);
         }
-        for r in &diff.changed {
-            ctx.log(
-                LogRecord::RouteChanged { dest: r.dest, next_hop: r.next_hop, hops: r.hops }
-                    .to_line(),
-            );
-        }
-        for d in &diff.removed {
-            ctx.log(LogRecord::RouteLost { dest: *d }.to_line());
-        }
-        self.routes = new_routes;
+    }
+
+    /// Public freshness hook for wrappers ([`refresh`](Self::refresh) is
+    /// what the detector calls before tailing the audit log, so the
+    /// recompute-emitted lines land in the same analysis batch in both
+    /// recompute modes).
+    pub fn refresh(&mut self, ctx: &mut Context<'_>) {
+        self.ensure_fresh(ctx);
     }
 }
 
@@ -829,8 +1020,12 @@ impl<H: OlsrHooks> Application for OlsrNode<H> {
                 ctx.set_timer(self.config.tc_interval, TIMER_TC);
             }
             TIMER_REFRESH => {
-                self.recompute(ctx);
+                self.ensure_fresh(ctx);
                 ctx.set_timer(self.config.refresh_interval, TIMER_REFRESH);
+            }
+            TIMER_RECOMPUTE => {
+                self.debounce_armed = false;
+                self.ensure_fresh(ctx);
             }
             _ => {}
         }
@@ -849,6 +1044,37 @@ impl<H: OlsrHooks> std::fmt::Debug for OlsrNode<H> {
             .field("mprs", &self.mprs)
             .field("routes", &self.routes.len())
             .finish()
+    }
+}
+
+/// Builds the MPR candidate set for `me` into `pool` (cleared first): one
+/// candidate per symmetric neighbor, covering the strict 2-hop targets
+/// reachable through it, with `WILL_NEVER` forced for excluded intruders.
+/// The single definition both the hot path ([`OlsrNode::ensure_fresh`])
+/// and the pure query ([`OlsrNode::effective_mprs`]) share — the
+/// equivalence suite compares materialized against effective state, so
+/// the two must be the same computation by construction. `sym` must be
+/// sorted ascending.
+fn fill_mpr_candidates(
+    pool: &mut CandidatePool,
+    two_hop: &TwoHopSet,
+    neighbors: &NeighborSet,
+    excluded: &std::collections::BTreeSet<NodeId>,
+    me: NodeId,
+    sym: &[NodeId],
+    now: SimTime,
+) {
+    pool.clear();
+    for &n in sym {
+        let willingness = if excluded.contains(&n) {
+            Willingness::Never
+        } else {
+            neighbors.get(n).map_or(Willingness::Default, |t| t.willingness)
+        };
+        let covers = pool.push(n, willingness);
+        covers
+            .extend(two_hop.iter_via(n, now).filter(|t| *t != me && sym.binary_search(t).is_err()));
+        pool.seal_last();
     }
 }
 

@@ -8,7 +8,7 @@
 //! the graph — the primitive the paper's investigation uses so that
 //! requests/answers "should not go through … the suspicious MPR".
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use trustlink_sim::{NodeId, SimTime};
 
@@ -78,9 +78,15 @@ pub struct Route {
 }
 
 /// A freshly computed routing table.
+///
+/// Backed by a `Vec<Route>` sorted by destination (node ids are dense
+/// `u16`s): lookups are binary searches, iteration is a slice walk, and a
+/// table can be recomputed *into* an existing allocation
+/// ([`RoutingTable::compute_avoiding_into`]) so the steady-state recompute
+/// path allocates nothing once warm.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoutingTable {
-    routes: BTreeMap<NodeId, Route>,
+    routes: Vec<Route>, // sorted ascending by dest
 }
 
 impl RoutingTable {
@@ -137,6 +143,35 @@ impl RoutingTable {
         now: SimTime,
         avoid: Option<NodeId>,
     ) -> Self {
+        let mut out = RoutingTable::default();
+        Self::compute_avoiding_into(
+            ws,
+            &mut out,
+            me,
+            symmetric_neighbors,
+            two_hop,
+            topology,
+            now,
+            avoid,
+        );
+        out
+    }
+
+    /// Fully allocation-free form: the scratch state lives in `ws` and the
+    /// result is written into `out` (cleared first, capacity kept).
+    /// Results are identical to [`RoutingTable::compute_avoiding`] for
+    /// every input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_avoiding_into(
+        ws: &mut RoutingWorkspace,
+        out: &mut RoutingTable,
+        me: NodeId,
+        symmetric_neighbors: &[NodeId],
+        two_hop: &TwoHopSet,
+        topology: &TopologySet,
+        now: SimTime,
+        avoid: Option<NodeId>,
+    ) {
         // Build adjacency: me -> neighbors, neighbor -> claimed 2-hop,
         // plus TC-learned topology edges. Edges *out of* `me` come only
         // from link sensing: a forged TC or HELLO mentioning this node must
@@ -192,17 +227,17 @@ impl RoutingTable {
             ws.adj[u.index()] = nbrs;
         }
 
-        let mut routes = BTreeMap::new();
+        out.routes.clear();
         for i in 0..n {
             let hops = ws.dist[i];
             let dest = NodeId(i as u16);
             if hops == UNVISITED || dest == me {
                 continue;
             }
-            routes.insert(dest, Route { dest, next_hop: ws.first_hop[i], hops });
+            // Ascending `i` keeps the vec sorted by destination.
+            out.routes.push(Route { dest, next_hop: ws.first_hop[i], hops });
         }
         ws.reset_for_next_use();
-        RoutingTable { routes }
     }
 
     /// Adds a learned (non-link-sensed) edge, filtering anything touching
@@ -215,17 +250,17 @@ impl RoutingTable {
 
     /// The route to `dest`, if any.
     pub fn route_to(&self, dest: NodeId) -> Option<&Route> {
-        self.routes.get(&dest)
+        self.routes.binary_search_by_key(&dest, |r| r.dest).ok().map(|i| &self.routes[i])
     }
 
     /// The next hop toward `dest`, if any.
     pub fn next_hop(&self, dest: NodeId) -> Option<NodeId> {
-        self.routes.get(&dest).map(|r| r.next_hop)
+        self.route_to(dest).map(|r| r.next_hop)
     }
 
     /// All routes, ascending by destination.
     pub fn iter(&self) -> impl Iterator<Item = &Route> {
-        self.routes.values()
+        self.routes.iter()
     }
 
     /// Number of reachable destinations.
@@ -239,21 +274,39 @@ impl RoutingTable {
     }
 
     /// Destinations whose route changed or disappeared between `self` and
-    /// `next` — used by the node to emit `ROUTE_*` audit-log lines.
+    /// `next` — used by the node to emit `ROUTE_*` audit-log lines. A
+    /// single merge walk over the two destination-sorted tables.
     pub fn diff<'a>(&'a self, next: &'a RoutingTable) -> RoutingDiff {
         let mut added = Vec::new();
         let mut changed = Vec::new();
         let mut removed = Vec::new();
-        for (dest, route) in &next.routes {
-            match self.routes.get(dest) {
-                None => added.push(*route),
-                Some(old) if old != route => changed.push(*route),
-                Some(_) => {}
-            }
-        }
-        for dest in self.routes.keys() {
-            if !next.routes.contains_key(dest) {
-                removed.push(*dest);
+        let (mut i, mut j) = (0, 0);
+        while i < self.routes.len() || j < next.routes.len() {
+            match (self.routes.get(i), next.routes.get(j)) {
+                (Some(old), Some(new)) if old.dest == new.dest => {
+                    if old != new {
+                        changed.push(*new);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(old), Some(new)) if old.dest < new.dest => {
+                    removed.push(old.dest);
+                    i += 1;
+                }
+                (Some(_), Some(new)) => {
+                    added.push(*new);
+                    j += 1;
+                }
+                (Some(old), None) => {
+                    removed.push(old.dest);
+                    i += 1;
+                }
+                (None, Some(new)) => {
+                    added.push(*new);
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
             }
         }
         RoutingDiff { added, changed, removed }
@@ -287,7 +340,7 @@ mod tests {
         for (i, &(last_hop, dest)) in entries.iter().enumerate() {
             // Distinct originators may repeat; use one ANSN per last_hop.
             let _ = i;
-            set.apply_tc(NodeId(last_hop), 1, &[NodeId(dest)], SimTime::from_secs(1_000));
+            set.apply_tc(NodeId(last_hop), 1, &[NodeId(dest)], SimTime::from_secs(1_000), now());
         }
         set
     }
@@ -296,7 +349,7 @@ mod tests {
         let mut set = TopologySet::default();
         for &(last_hop, dests) in entries {
             let dests: Vec<NodeId> = dests.iter().map(|&d| NodeId(d)).collect();
-            set.apply_tc(NodeId(last_hop), 1, &dests, SimTime::from_secs(1_000));
+            set.apply_tc(NodeId(last_hop), 1, &dests, SimTime::from_secs(1_000), now());
         }
         set
     }
@@ -402,7 +455,7 @@ mod tests {
     #[test]
     fn expired_topology_ignored() {
         let mut set = TopologySet::default();
-        set.apply_tc(NodeId(1), 1, &[NodeId(2)], SimTime::from_secs(5));
+        set.apply_tc(NodeId(1), 1, &[NodeId(2)], SimTime::from_secs(5), now());
         let table =
             RoutingTable::compute(NodeId(0), &[NodeId(1)], &no2h(), &set, SimTime::from_secs(10));
         assert!(table.route_to(NodeId(2)).is_none());

@@ -2,12 +2,25 @@
 //! neighbor set, 2-hop neighbor set, MPR selector set, topology set,
 //! duplicate set and the MID interface-association set.
 //!
-//! Every repository is a collection of *tuples valid until a time*; the
-//! [`purge`](LinkSet::purge) family removes expired entries and reports
-//! whether anything changed (so the node knows to recompute MPRs/routes and
-//! to write the corresponding audit-log lines).
+//! Every repository is a collection of *tuples valid until a time*. Two
+//! invariants make the incremental recompute pipeline possible:
+//!
+//! 1. **Every read is time-aware.** A tuple whose expiry has passed is
+//!    semantically absent from every query, whether or not it has been
+//!    physically removed. Purging is therefore pure garbage collection:
+//!    *when* a purge runs can never change protocol behaviour, only
+//!    memory usage and the timing of the corresponding audit-log lines.
+//! 2. **Purges are min-expiry gated.** Each repository tracks a lower
+//!    bound on the earliest expiry it contains; [`purge`](LinkSet::purge)
+//!    returns immediately while `now` has not reached it. A sweep only
+//!    ever touches tuples when something may actually have expired,
+//!    instead of scanning the whole set after every received packet.
+//!
+//! The `purge` family still removes expired entries and reports what was
+//! dropped (so the node can write the corresponding audit-log lines and
+//! invalidate recompute artifacts that depended on the dropped state).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use trustlink_sim::{NodeId, SimTime};
 
@@ -50,10 +63,40 @@ pub enum LinkStatus {
     Lost,
 }
 
+/// The smallest expiry in a set of candidate times, tracked as a *lower
+/// bound*: extending a tuple's validity does not raise the bound, so a
+/// purge may occasionally scan and find nothing — but a purge can never be
+/// missed. Purge passes recompute the exact minimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MinExpiry(SimTime);
+
+impl Default for MinExpiry {
+    fn default() -> Self {
+        MinExpiry(SimTime::MAX)
+    }
+}
+
+impl MinExpiry {
+    /// Lowers the bound to cover a tuple expiring at `until`.
+    fn cover(&mut self, until: SimTime) {
+        self.0 = self.0.min(until);
+    }
+
+    /// `true` when nothing can have expired yet: the purge may skip.
+    fn nothing_due(&self, now: SimTime) -> bool {
+        self.0 > now
+    }
+
+    fn reset(&mut self) {
+        self.0 = SimTime::MAX;
+    }
+}
+
 /// The link set: every link this node has sensed recently.
 #[derive(Debug, Clone, Default)]
 pub struct LinkSet {
     tuples: BTreeMap<NodeId, LinkTuple>,
+    min_expiry: MinExpiry,
 }
 
 impl LinkSet {
@@ -65,6 +108,7 @@ impl LinkSet {
     /// Inserts or updates the tuple for `neighbor`, merging expiry times
     /// (times only ever extend; purging is how they shrink).
     pub fn upsert(&mut self, tuple: LinkTuple) {
+        self.min_expiry.cover(tuple.until);
         self.tuples
             .entry(tuple.neighbor)
             .and_modify(|t| {
@@ -85,11 +129,21 @@ impl LinkSet {
 
     /// Neighbors with a symmetric link at `now`, ascending.
     pub fn symmetric_neighbors(&self, now: SimTime) -> Vec<NodeId> {
-        self.tuples
-            .values()
-            .filter(|t| t.status(now) == LinkStatus::Symmetric)
-            .map(|t| t.neighbor)
-            .collect()
+        let mut out = Vec::new();
+        self.symmetric_neighbors_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`LinkSet::symmetric_neighbors`]: `out` is
+    /// cleared and refilled (ascending).
+    pub fn symmetric_neighbors_into(&self, now: SimTime, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            self.tuples
+                .values()
+                .filter(|t| t.status(now) == LinkStatus::Symmetric)
+                .map(|t| t.neighbor),
+        );
     }
 
     /// Neighbors with at least an asymmetric link at `now`, ascending.
@@ -102,12 +156,19 @@ impl LinkSet {
     }
 
     /// Removes tuples wholly expired at `now`; returns the removed
-    /// neighbors.
+    /// neighbors. Min-expiry gated: free while nothing can have expired.
     pub fn purge(&mut self, now: SimTime) -> Vec<NodeId> {
+        if self.min_expiry.nothing_due(now) {
+            return Vec::new();
+        }
         let dead: Vec<NodeId> =
             self.tuples.values().filter(|t| t.until <= now).map(|t| t.neighbor).collect();
         for d in &dead {
             self.tuples.remove(d);
+        }
+        self.min_expiry.reset();
+        for t in self.tuples.values() {
+            self.min_expiry.cover(t.until);
         }
         dead
     }
@@ -144,12 +205,21 @@ pub struct NeighborSet {
 }
 
 impl NeighborSet {
-    /// Inserts or updates a neighbor.
-    pub fn upsert(&mut self, addr: NodeId, willingness: Willingness) {
-        self.tuples
-            .entry(addr)
-            .and_modify(|t| t.willingness = willingness)
-            .or_insert(NeighborTuple { addr, willingness });
+    /// Inserts or updates a neighbor. Returns `true` when the entry is new
+    /// or its willingness actually changed — the only neighbor-set updates
+    /// that can alter MPR selection.
+    pub fn upsert(&mut self, addr: NodeId, willingness: Willingness) -> bool {
+        match self.tuples.entry(addr) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let changed = e.get().willingness != willingness;
+                e.get_mut().willingness = willingness;
+                changed
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(NeighborTuple { addr, willingness });
+                true
+            }
+        }
     }
 
     /// Removes a neighbor, returning whether it existed.
@@ -204,19 +274,46 @@ pub struct TwoHopTuple {
 #[derive(Debug, Clone, Default)]
 pub struct TwoHopSet {
     tuples: BTreeMap<(NodeId, NodeId), SimTime>,
+    min_expiry: MinExpiry,
 }
 
 impl TwoHopSet {
-    /// Inserts or refreshes the pair `(via, two_hop)`.
-    pub fn upsert(&mut self, via: NodeId, two_hop: NodeId, until: SimTime) {
-        let e = self.tuples.entry((via, two_hop)).or_insert(until);
-        *e = (*e).max(until);
+    /// Inserts or refreshes the pair `(via, two_hop)` as of `now`. Returns
+    /// `true` when the live content changed: the pair is new, or it existed
+    /// only as an expired leftover. A pure refresh of a live pair returns
+    /// `false` — it cannot alter MPR selection or routing.
+    pub fn upsert(&mut self, via: NodeId, two_hop: NodeId, until: SimTime, now: SimTime) -> bool {
+        self.min_expiry.cover(until);
+        match self.tuples.entry((via, two_hop)) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let was_live = *e.get() > now;
+                *e.get_mut() = (*e.get()).max(until);
+                !was_live
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(until);
+                true
+            }
+        }
     }
 
     /// Removes every pair advertised through `via` (when a HELLO from `via`
-    /// stops listing someone, or the neighbor is lost).
-    pub fn remove_via(&mut self, via: NodeId) {
-        self.tuples.retain(|(v, _), _| *v != via);
+    /// declares the link lost, or the neighbor drops out of the symmetric
+    /// set). Returns how many removed pairs were still live at `now` — with
+    /// the `via`-bounded validity invariant the reception path maintains,
+    /// sweep-time calls always find 0 live pairs (pure GC).
+    pub fn remove_via(&mut self, via: NodeId, now: SimTime) -> usize {
+        let mut live = 0;
+        self.tuples.retain(|(v, _), until| {
+            if *v != via {
+                return true;
+            }
+            if *until > now {
+                live += 1;
+            }
+            false
+        });
+        live
     }
 
     /// Removes one specific pair.
@@ -228,26 +325,47 @@ impl TwoHopSet {
     /// excluding addresses in `exclude` (RFC: a 2-hop neighbor that is also
     /// a 1-hop neighbor does not need covering).
     pub fn two_hop_addrs(&self, now: SimTime, me: NodeId, exclude: &[NodeId]) -> Vec<NodeId> {
-        let ex: BTreeSet<NodeId> = exclude.iter().copied().collect();
-        let mut v: Vec<NodeId> = self
-            .tuples
-            .iter()
-            .filter(|(_, &until)| until > now)
-            .map(|(&(_, th), _)| th)
-            .filter(|th| *th != me && !ex.contains(th))
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+        let mut ex: Vec<NodeId> = exclude.to_vec();
+        ex.sort_unstable();
+        let mut out = Vec::new();
+        self.two_hop_addrs_into(now, me, &ex, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`TwoHopSet::two_hop_addrs`]: `exclude`
+    /// must be sorted ascending, `out` is cleared and refilled.
+    pub fn two_hop_addrs_into(
+        &self,
+        now: SimTime,
+        me: NodeId,
+        exclude: &[NodeId],
+        out: &mut Vec<NodeId>,
+    ) {
+        debug_assert!(exclude.windows(2).all(|w| w[0] <= w[1]), "exclude must be sorted");
+        out.clear();
+        out.extend(
+            self.tuples
+                .iter()
+                .filter(|(_, &until)| until > now)
+                .map(|(&(_, th), _)| th)
+                .filter(|th| *th != me && exclude.binary_search(th).is_err()),
+        );
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// The 2-hop addresses reachable via `via` at `now`.
     pub fn reachable_via(&self, via: NodeId, now: SimTime) -> Vec<NodeId> {
+        self.iter_via(via, now).collect()
+    }
+
+    /// Iterates the 2-hop addresses reachable via `via` at `now` without
+    /// allocating (ascending; the keyspace is range-scanned).
+    pub fn iter_via(&self, via: NodeId, now: SimTime) -> impl Iterator<Item = NodeId> + '_ {
         self.tuples
-            .iter()
-            .filter(|(&(v, _), &until)| v == via && until > now)
+            .range((via, NodeId(0))..=(via, NodeId(u16::MAX)))
+            .filter(move |(_, &until)| until > now)
             .map(|(&(_, th), _)| th)
-            .collect()
     }
 
     /// The 1-hop neighbors through which `two_hop` is reachable at `now`.
@@ -260,11 +378,19 @@ impl TwoHopSet {
     }
 
     /// Drops expired pairs; returns the removed `(via, two_hop)` pairs.
+    /// Min-expiry gated: free while nothing can have expired.
     pub fn purge(&mut self, now: SimTime) -> Vec<(NodeId, NodeId)> {
+        if self.min_expiry.nothing_due(now) {
+            return Vec::new();
+        }
         let dead: Vec<(NodeId, NodeId)> =
             self.tuples.iter().filter(|(_, &until)| until <= now).map(|(&k, _)| k).collect();
         for k in &dead {
             self.tuples.remove(k);
+        }
+        self.min_expiry.reset();
+        for &until in self.tuples.values() {
+            self.min_expiry.cover(until);
         }
         dead
     }
@@ -293,20 +419,26 @@ impl TwoHopSet {
 #[derive(Debug, Clone, Default)]
 pub struct MprSelectorSet {
     tuples: BTreeMap<NodeId, SimTime>,
+    min_expiry: MinExpiry,
 }
 
 impl MprSelectorSet {
-    /// Inserts or refreshes a selector.
-    pub fn upsert(&mut self, addr: NodeId, until: SimTime) -> bool {
-        let fresh = !self.tuples.contains_key(&addr);
+    /// Inserts or refreshes a selector as of `now`. Returns `true` when the
+    /// selector was not previously *live* (absent, or present only as an
+    /// expired leftover) — i.e. when this is an observable addition.
+    pub fn upsert(&mut self, addr: NodeId, until: SimTime, now: SimTime) -> bool {
+        self.min_expiry.cover(until);
+        let fresh = self.tuples.get(&addr).is_none_or(|&u| u <= now);
         let e = self.tuples.entry(addr).or_insert(until);
         *e = (*e).max(until);
         fresh
     }
 
-    /// Removes a selector (on lost symmetry), returning whether it existed.
-    pub fn remove(&mut self, addr: NodeId) -> bool {
-        self.tuples.remove(&addr).is_some()
+    /// Removes a selector (on lost symmetry or an explicit LOST listing),
+    /// returning whether a *live* entry existed at `now` (an expired
+    /// leftover is dropped silently — it was already observably gone).
+    pub fn remove(&mut self, addr: NodeId, now: SimTime) -> bool {
+        self.tuples.remove(&addr).is_some_and(|until| until > now)
     }
 
     /// `true` when `addr` currently selects us at `now`.
@@ -324,12 +456,20 @@ impl MprSelectorSet {
         self.addrs(now).is_empty()
     }
 
-    /// Drops expired entries; returns the removed addresses.
+    /// Drops expired entries; returns the removed addresses. Min-expiry
+    /// gated: free while nothing can have expired.
     pub fn purge(&mut self, now: SimTime) -> Vec<NodeId> {
+        if self.min_expiry.nothing_due(now) {
+            return Vec::new();
+        }
         let dead: Vec<NodeId> =
             self.tuples.iter().filter(|(_, &until)| until <= now).map(|(&a, _)| a).collect();
         for a in &dead {
             self.tuples.remove(a);
+        }
+        self.min_expiry.reset();
+        for &until in self.tuples.values() {
+            self.min_expiry.cover(until);
         }
         dead
     }
@@ -353,39 +493,63 @@ pub struct TopologyTuple {
 #[derive(Debug, Clone, Default)]
 pub struct TopologySet {
     tuples: BTreeMap<(NodeId, NodeId), TopologyTuple>, // key: (last_hop, dest)
+    min_expiry: MinExpiry,
 }
 
 impl TopologySet {
-    /// Latest ANSN recorded for `last_hop`, if any tuple survives.
-    pub fn ansn_of(&self, last_hop: NodeId) -> Option<u16> {
-        self.tuples.iter().filter(|(&(lh, _), _)| lh == last_hop).map(|(_, t)| t.ansn).next()
+    /// Latest ANSN recorded for `last_hop` among tuples still live at
+    /// `now`. Expired leftovers carry no authority: an originator whose
+    /// entire advertisement has timed out is treated as never heard from,
+    /// exactly as if the leftovers had already been garbage-collected —
+    /// this keeps the ANSN staleness check independent of purge timing.
+    pub fn ansn_of(&self, last_hop: NodeId, now: SimTime) -> Option<u16> {
+        self.tuples
+            .range((last_hop, NodeId(0))..=(last_hop, NodeId(u16::MAX)))
+            .filter(|(_, t)| t.until > now)
+            .map(|(_, t)| t.ansn)
+            .next()
     }
 
     /// Applies a TC from `last_hop` carrying `ansn` and `dests`
     /// (RFC 3626 §9.5): stale-ANSN TCs are ignored; newer ANSNs replace all
-    /// tuples of that originator. Returns `true` if the set changed.
+    /// tuples of that originator. Returns `true` if the *live* content
+    /// changed (a pure refresh of live tuples returns `false`).
     pub fn apply_tc(
         &mut self,
         last_hop: NodeId,
         ansn: u16,
         dests: &[NodeId],
         until: SimTime,
+        now: SimTime,
     ) -> bool {
-        if let Some(existing) = self.ansn_of(last_hop) {
+        let mut changed = false;
+        if let Some(existing) = self.ansn_of(last_hop, now) {
             let newer = SequenceNumber(ansn).is_newer_than(SequenceNumber(existing));
             if existing != ansn && !newer {
                 return false; // stale information
             }
             if newer {
-                self.tuples.retain(|(lh, _), _| *lh != last_hop);
+                // Dropping a *live* tuple is a topology change in itself —
+                // a TC that withdraws links (down to an empty advertised
+                // set) must re-trigger route calculation even when it
+                // inserts nothing.
+                self.tuples.retain(|(lh, _), t| {
+                    if *lh != last_hop {
+                        return true;
+                    }
+                    if t.until > now {
+                        changed = true;
+                    }
+                    false
+                });
             }
         }
-        let mut changed = false;
+        self.min_expiry.cover(until);
         for &d in dests {
             let t = TopologyTuple { dest: d, last_hop, ansn, until };
             match self.tuples.insert((last_hop, d), t) {
-                Some(old) if old.ansn == ansn => {
-                    // pure refresh, not a topology change
+                Some(old) if old.ansn == ansn && old.until > now => {
+                    // pure refresh of a live tuple, not a topology change
                 }
                 _ => changed = true,
             }
@@ -399,11 +563,21 @@ impl TopologySet {
     }
 
     /// Drops expired tuples; returns removed `(last_hop, dest)` pairs.
+    /// Min-expiry gated: free while nothing can have expired — the gate
+    /// that turns the former per-reception O(topology) sweep into an
+    /// occasional one.
     pub fn purge(&mut self, now: SimTime) -> Vec<(NodeId, NodeId)> {
+        if self.min_expiry.nothing_due(now) {
+            return Vec::new();
+        }
         let dead: Vec<(NodeId, NodeId)> =
             self.tuples.iter().filter(|(_, t)| t.until <= now).map(|(&k, _)| k).collect();
         for k in &dead {
             self.tuples.remove(k);
+        }
+        self.min_expiry.reset();
+        for t in self.tuples.values() {
+            self.min_expiry.cover(t.until);
         }
         dead
     }
@@ -424,6 +598,7 @@ impl TopologySet {
 #[derive(Debug, Clone, Default)]
 pub struct DuplicateSet {
     tuples: BTreeMap<(NodeId, u16), DuplicateTuple>,
+    min_expiry: MinExpiry,
 }
 
 /// One remembered message.
@@ -446,25 +621,43 @@ impl DuplicateSet {
         self.tuples.get(&(originator, seq.0)).is_some_and(|t| t.until > now && t.retransmitted)
     }
 
-    /// Records a processed message.
+    /// Records a processed message as of `now`. An expired leftover for the
+    /// same `(originator, seq)` (a wrapped-around sequence number) is
+    /// overwritten outright rather than merged: it is semantically a
+    /// different message, and overwriting keeps the set's behaviour
+    /// independent of when the leftover is garbage-collected.
     pub fn record(
         &mut self,
         originator: NodeId,
         seq: SequenceNumber,
         retransmitted: bool,
         until: SimTime,
+        now: SimTime,
     ) {
+        self.min_expiry.cover(until);
         let e = self
             .tuples
             .entry((originator, seq.0))
             .or_insert(DuplicateTuple { retransmitted, until });
-        e.retransmitted |= retransmitted;
-        e.until = e.until.max(until);
+        if e.until <= now {
+            *e = DuplicateTuple { retransmitted, until };
+        } else {
+            e.retransmitted |= retransmitted;
+            e.until = e.until.max(until);
+        }
     }
 
-    /// Drops expired entries.
+    /// Drops expired entries. Min-expiry gated: free while nothing can have
+    /// expired.
     pub fn purge(&mut self, now: SimTime) {
+        if self.min_expiry.nothing_due(now) {
+            return;
+        }
         self.tuples.retain(|_, t| t.until > now);
+        self.min_expiry.reset();
+        for t in self.tuples.values() {
+            self.min_expiry.cover(t.until);
+        }
     }
 
     /// Number of remembered messages.
@@ -482,11 +675,13 @@ impl DuplicateSet {
 #[derive(Debug, Clone, Default)]
 pub struct InterfaceAssociationSet {
     tuples: BTreeMap<NodeId, (NodeId, SimTime)>, // alias -> (main, until)
+    min_expiry: MinExpiry,
 }
 
 impl InterfaceAssociationSet {
     /// Records that `alias` belongs to `main`.
     pub fn upsert(&mut self, alias: NodeId, main: NodeId, until: SimTime) {
+        self.min_expiry.cover(until);
         let e = self.tuples.entry(alias).or_insert((main, until));
         e.0 = main;
         e.1 = e.1.max(until);
@@ -500,9 +695,17 @@ impl InterfaceAssociationSet {
         }
     }
 
-    /// Drops expired associations.
+    /// Drops expired associations. Min-expiry gated: free while nothing
+    /// can have expired.
     pub fn purge(&mut self, now: SimTime) {
+        if self.min_expiry.nothing_due(now) {
+            return;
+        }
         self.tuples.retain(|_, (_, until)| *until > now);
+        self.min_expiry.reset();
+        for (_, until) in self.tuples.values() {
+            self.min_expiry.cover(*until);
+        }
     }
 
     /// Number of live+stale associations stored.
@@ -592,9 +795,10 @@ mod tests {
     #[test]
     fn neighbor_set_basics() {
         let mut set = NeighborSet::default();
-        set.upsert(NodeId(3), Willingness::High);
-        set.upsert(NodeId(1), Willingness::Default);
-        set.upsert(NodeId(3), Willingness::Low); // update
+        assert!(set.upsert(NodeId(3), Willingness::High)); // new
+        assert!(set.upsert(NodeId(1), Willingness::Default));
+        assert!(set.upsert(NodeId(3), Willingness::Low)); // changed
+        assert!(!set.upsert(NodeId(3), Willingness::Low)); // no-op refresh
         assert_eq!(set.len(), 2);
         assert_eq!(set.get(NodeId(3)).unwrap().willingness, Willingness::Low);
         assert_eq!(set.addrs(), vec![NodeId(1), NodeId(3)]);
@@ -605,9 +809,9 @@ mod tests {
     #[test]
     fn two_hop_set_queries() {
         let mut set = TwoHopSet::default();
-        set.upsert(NodeId(1), NodeId(10), t(5));
-        set.upsert(NodeId(1), NodeId(11), t(5));
-        set.upsert(NodeId(2), NodeId(10), t(5));
+        set.upsert(NodeId(1), NodeId(10), t(5), t(0));
+        set.upsert(NodeId(1), NodeId(11), t(5), t(0));
+        set.upsert(NodeId(2), NodeId(10), t(5), t(0));
         assert_eq!(set.two_hop_addrs(t(0), NodeId(0), &[]), vec![NodeId(10), NodeId(11)]);
         // Excluding 1-hop neighbors and self:
         assert_eq!(set.two_hop_addrs(t(0), NodeId(0), &[NodeId(11)]), vec![NodeId(10)]);
@@ -621,59 +825,108 @@ mod tests {
     #[test]
     fn two_hop_expiry_and_removal() {
         let mut set = TwoHopSet::default();
-        set.upsert(NodeId(1), NodeId(10), t(5));
-        set.upsert(NodeId(2), NodeId(20), t(50));
+        set.upsert(NodeId(1), NodeId(10), t(5), t(0));
+        set.upsert(NodeId(2), NodeId(20), t(50), t(0));
         assert!(set.two_hop_addrs(t(10), NodeId(0), &[]).contains(&NodeId(20)));
         assert!(!set.two_hop_addrs(t(10), NodeId(0), &[]).contains(&NodeId(10)));
         let dead = set.purge(t(10));
         assert_eq!(dead, vec![(NodeId(1), NodeId(10))]);
-        set.remove_via(NodeId(2));
+        set.remove_via(NodeId(2), t(10));
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn two_hop_upsert_reports_live_changes_only() {
+        let mut set = TwoHopSet::default();
+        assert!(set.upsert(NodeId(1), NodeId(10), t(5), t(0))); // new
+        assert!(!set.upsert(NodeId(1), NodeId(10), t(8), t(1))); // refresh
+                                                                 // Reviving the pair after it expired is an observable change again,
+                                                                 // whether or not the leftover was purged in between.
+        assert!(set.upsert(NodeId(1), NodeId(10), t(20), t(9)));
     }
 
     #[test]
     fn mpr_selector_set() {
         let mut set = MprSelectorSet::default();
-        assert!(set.upsert(NodeId(1), t(5)));
-        assert!(!set.upsert(NodeId(1), t(8))); // refresh, not fresh
+        assert!(set.upsert(NodeId(1), t(5), t(0)));
+        assert!(!set.upsert(NodeId(1), t(8), t(1))); // refresh, not fresh
         assert!(set.contains(NodeId(1), t(7)));
         assert!(!set.contains(NodeId(1), t(9)));
         assert!(set.is_empty(t(9)));
         assert_eq!(set.purge(t(9)), vec![NodeId(1)]);
-        assert!(!set.remove(NodeId(1)));
+        assert!(!set.remove(NodeId(1), t(9)));
+    }
+
+    #[test]
+    fn mpr_selector_expired_leftover_counts_as_fresh() {
+        let mut set = MprSelectorSet::default();
+        assert!(set.upsert(NodeId(1), t(5), t(0)));
+        // Leftover expired at t(5) but never purged: re-adding at t(6) is
+        // observably fresh, and removing the leftover is observably a no-op.
+        assert!(set.upsert(NodeId(1), t(9), t(6)));
+        assert!(set.remove(NodeId(1), t(7)));
+        assert!(set.upsert(NodeId(1), t(12), t(8)));
+        assert!(!set.remove(NodeId(1), t(12)));
     }
 
     #[test]
     fn topology_ansn_rules() {
         let mut set = TopologySet::default();
-        assert!(set.apply_tc(NodeId(5), 10, &[NodeId(1), NodeId(2)], t(15)));
+        assert!(set.apply_tc(NodeId(5), 10, &[NodeId(1), NodeId(2)], t(15), t(0)));
         assert_eq!(set.iter(t(0)).count(), 2);
         // Same ANSN again: pure refresh, no change signal.
-        assert!(!set.apply_tc(NodeId(5), 10, &[NodeId(1), NodeId(2)], t(20)));
+        assert!(!set.apply_tc(NodeId(5), 10, &[NodeId(1), NodeId(2)], t(20), t(1)));
         // Stale ANSN ignored.
-        assert!(!set.apply_tc(NodeId(5), 9, &[NodeId(9)], t(20)));
+        assert!(!set.apply_tc(NodeId(5), 9, &[NodeId(9)], t(20), t(1)));
         assert_eq!(set.iter(t(0)).count(), 2);
         // Newer ANSN replaces the originator's tuples wholesale.
-        assert!(set.apply_tc(NodeId(5), 11, &[NodeId(3)], t(25)));
-        let dests: Vec<NodeId> = set.iter(t(0)).map(|t| t.dest).collect();
+        assert!(set.apply_tc(NodeId(5), 11, &[NodeId(3)], t(25), t(2)));
+        let dests: Vec<NodeId> = set.iter(t(2)).map(|t| t.dest).collect();
         assert_eq!(dests, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn topology_empty_tc_withdrawal_is_a_change() {
+        // An MPR that lost its last selector emits a newer-ANSN TC with an
+        // empty advertised set: the withdrawal of its live tuples must
+        // signal a topology change (the routing BFS re-runs), even though
+        // nothing is inserted.
+        let mut set = TopologySet::default();
+        assert!(set.apply_tc(NodeId(5), 10, &[NodeId(1), NodeId(2)], t(15), t(0)));
+        assert!(set.apply_tc(NodeId(5), 11, &[], t(20), t(1)));
+        assert_eq!(set.iter(t(1)).count(), 0);
+        // Withdrawing only already-expired tuples is not a change.
+        let mut set = TopologySet::default();
+        assert!(set.apply_tc(NodeId(6), 1, &[NodeId(1)], t(5), t(0)));
+        assert!(!set.apply_tc(NodeId(6), 2, &[], t(30), t(10)));
+    }
+
+    #[test]
+    fn topology_expired_ansn_carries_no_authority() {
+        let mut set = TopologySet::default();
+        assert!(set.apply_tc(NodeId(5), 10, &[NodeId(1)], t(15), t(0)));
+        // All of N5's tuples have expired by t(20): an ANSN that would have
+        // been stale is accepted as if the leftovers were already purged.
+        assert!(set.apply_tc(NodeId(5), 3, &[NodeId(2)], t(40), t(20)));
+        let dests: Vec<NodeId> = set.iter(t(20)).map(|t| t.dest).collect();
+        assert_eq!(dests, vec![NodeId(2)]);
     }
 
     #[test]
     fn topology_ansn_wraparound() {
         let mut set = TopologySet::default();
-        assert!(set.apply_tc(NodeId(5), u16::MAX, &[NodeId(1)], t(15)));
+        assert!(set.apply_tc(NodeId(5), u16::MAX, &[NodeId(1)], t(15), t(0)));
         // 0 is "newer" than 65535 under RFC §19 arithmetic.
-        assert!(set.apply_tc(NodeId(5), 0, &[NodeId(2)], t(20)));
-        let dests: Vec<NodeId> = set.iter(t(0)).map(|t| t.dest).collect();
+        assert!(set.apply_tc(NodeId(5), 0, &[NodeId(2)], t(20), t(1)));
+        let dests: Vec<NodeId> = set.iter(t(1)).map(|t| t.dest).collect();
         assert_eq!(dests, vec![NodeId(2)]);
     }
 
     #[test]
     fn topology_purge() {
         let mut set = TopologySet::default();
-        set.apply_tc(NodeId(5), 1, &[NodeId(1)], t(5));
-        set.apply_tc(NodeId(6), 1, &[NodeId(2)], t(50));
+        set.apply_tc(NodeId(5), 1, &[NodeId(1)], t(5), t(0));
+        set.apply_tc(NodeId(6), 1, &[NodeId(2)], t(50), t(0));
         assert_eq!(set.purge(t(10)), vec![(NodeId(5), NodeId(1))]);
         assert_eq!(set.len(), 1);
     }
@@ -683,16 +936,58 @@ mod tests {
         let mut set = DuplicateSet::default();
         let seq = SequenceNumber(7);
         assert!(!set.seen(NodeId(1), seq, t(0)));
-        set.record(NodeId(1), seq, false, t(30));
+        set.record(NodeId(1), seq, false, t(30), t(0));
         assert!(set.seen(NodeId(1), seq, t(0)));
         assert!(!set.retransmitted(NodeId(1), seq, t(0)));
-        set.record(NodeId(1), seq, true, t(30));
+        set.record(NodeId(1), seq, true, t(30), t(1));
         assert!(set.retransmitted(NodeId(1), seq, t(0)));
         // Retransmission flag is sticky.
-        set.record(NodeId(1), seq, false, t(30));
+        set.record(NodeId(1), seq, false, t(30), t(2));
         assert!(set.retransmitted(NodeId(1), seq, t(0)));
         set.purge(t(30));
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn duplicate_record_overwrites_expired_leftovers() {
+        let mut set = DuplicateSet::default();
+        let seq = SequenceNumber(7);
+        set.record(NodeId(1), seq, true, t(10), t(0));
+        // The same (originator, seq) reappears after expiry (sequence
+        // wraparound): it is a different message, so the stale
+        // retransmitted flag must not stick.
+        set.record(NodeId(1), seq, false, t(40), t(20));
+        assert!(set.seen(NodeId(1), seq, t(20)));
+        assert!(!set.retransmitted(NodeId(1), seq, t(20)));
+    }
+
+    #[test]
+    fn purges_are_min_expiry_gated() {
+        // A purge before the earliest expiry must remove nothing; at the
+        // expiry it removes exactly the due tuples and re-tracks the rest.
+        let mut links = LinkSet::default();
+        links.upsert(LinkTuple {
+            neighbor: NodeId(1),
+            sym_until: t(5),
+            asym_until: t(5),
+            until: t(5),
+        });
+        links.upsert(LinkTuple {
+            neighbor: NodeId(2),
+            sym_until: t(9),
+            asym_until: t(9),
+            until: t(9),
+        });
+        assert!(links.purge(t(4)).is_empty());
+        assert_eq!(links.purge(t(5)), vec![NodeId(1)]);
+        assert!(links.purge(t(8)).is_empty()); // bound re-tracked to t(9)
+        assert_eq!(links.purge(t(9)), vec![NodeId(2)]);
+
+        let mut topo = TopologySet::default();
+        topo.apply_tc(NodeId(5), 1, &[NodeId(1)], t(5), t(0));
+        assert!(topo.purge(t(4)).is_empty());
+        assert_eq!(topo.purge(t(5)), vec![(NodeId(5), NodeId(1))]);
+        assert!(topo.purge(t(100)).is_empty()); // empty set: bound is +inf
     }
 
     #[test]

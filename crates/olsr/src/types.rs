@@ -102,6 +102,39 @@ pub enum TcRedundancy {
     FullNeighborSet,
 }
 
+/// How a node schedules the expensive parts of state maintenance (expiry
+/// sweeps, MPR selection, routing calculation) relative to the packets
+/// that invalidate them.
+///
+/// Both modes take every externally observable decision — HELLO/TC
+/// content, data-plane next hops, flood forwarding — from state refreshed
+/// *at the moment of the decision*, so for a given `(seed, configuration)`
+/// the two modes transmit byte-identical frames and reach identical
+/// routing tables, MPR sets and detection verdicts. They differ only in
+/// when the *bookkeeping* runs, which shifts the timestamps of the
+/// recompute-emitted audit-log lines (`LINK_LOST`, `NBR_ADD`/`NBR_LOST`,
+/// `2HOP_LOST`, `MPR_SELECTOR_LOST` on sweep, `MPR_SET`, `ROUTE_*`) —
+/// never their per-analysis-batch content. `tests/recompute_equivalence.rs`
+/// pins this contract; [`RecomputeMode::Eager`] is kept as the oracle the
+/// same way `ScanMode::Linear` backs the spatial grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecomputeMode {
+    /// Change-aware and debounced (the default): receptions only mark
+    /// per-domain change flags; a short coalescing timer — plus the next
+    /// emission, data-plane use or analysis pass, whichever comes first —
+    /// folds any burst of invalidations into one recomputation.
+    #[default]
+    Incremental,
+    /// Recompute after every state-changing packet — the pre-incremental
+    /// *cadence*, kept as the reference oracle for equivalence testing
+    /// and the baseline for scaling benchmarks. Note this is scheduling
+    /// only: the eager path shares the pipeline's change-gated internals
+    /// and allocation-free scratch, so it is somewhat faster than the
+    /// original per-packet code it stands in for, and benchmarks against
+    /// it isolate the scheduling difference (conservatively).
+    Eager,
+}
+
 /// Protocol timing and behaviour parameters (RFC 3626 §18 defaults).
 #[derive(Debug, Clone, PartialEq)]
 pub struct OlsrConfig {
@@ -125,6 +158,12 @@ pub struct OlsrConfig {
     pub data_ttl: u8,
     /// TC advertisement richness (RFC 3626 §15.1).
     pub tc_redundancy: TcRedundancy,
+    /// How recomputation is scheduled (see [`RecomputeMode`]).
+    pub recompute: RecomputeMode,
+    /// Coalescing window of the incremental mode's recompute timer: a
+    /// burst of state-changing receptions inside one window triggers a
+    /// single deferred recomputation. Ignored in eager mode.
+    pub recompute_debounce: SimDuration,
 }
 
 impl OlsrConfig {
@@ -143,6 +182,8 @@ impl OlsrConfig {
             default_ttl: 255,
             data_ttl: 32,
             tc_redundancy: TcRedundancy::default(),
+            recompute: RecomputeMode::default(),
+            recompute_debounce: SimDuration::from_millis(100),
         }
     }
 
@@ -162,7 +203,15 @@ impl OlsrConfig {
             default_ttl: 255,
             data_ttl: 32,
             tc_redundancy: TcRedundancy::default(),
+            recompute: RecomputeMode::default(),
+            recompute_debounce: SimDuration::from_millis(100),
         }
+    }
+
+    /// Replaces the recompute scheduling mode.
+    pub fn with_recompute(mut self, mode: RecomputeMode) -> Self {
+        self.recompute = mode;
+        self
     }
 
     /// Replaces the willingness.

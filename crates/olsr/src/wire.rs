@@ -137,13 +137,103 @@ fn encode_tc(buf: &mut Vec<u8>, t: &TcMessage) {
     }
 }
 
+/// Recyclable buffers for packet decoding.
+///
+/// Encoding has been allocation-stable since the `encode_packet_into`
+/// scratch buffer; decoding still built every `Vec` inside a [`Packet`]
+/// from scratch on each reception — the remaining hot-path allocation at
+/// scale. A `DecodeArena` closes it: [`decode_packet_with`] draws the
+/// message, group, address and network vectors from the arena's free
+/// lists, and [`recycle`](DecodeArena::recycle) walks a fully processed
+/// packet and parks every vector for the next reception. Payload bytes
+/// are zero-copy [`Bytes`] slices of the received frame and need no
+/// recycling. Once warm, a steady-state reception decodes without
+/// touching the allocator.
+#[derive(Debug, Default)]
+pub struct DecodeArena {
+    msg_bufs: Vec<Vec<Message>>,
+    group_bufs: Vec<Vec<LinkGroup>>,
+    addr_bufs: Vec<Vec<NodeId>>,
+    net_bufs: Vec<Vec<(NodeId, u8)>>,
+}
+
+impl DecodeArena {
+    fn take_msgs(&mut self) -> Vec<Message> {
+        self.msg_bufs.pop().unwrap_or_default()
+    }
+
+    fn take_groups(&mut self) -> Vec<LinkGroup> {
+        self.group_bufs.pop().unwrap_or_default()
+    }
+
+    fn take_addrs(&mut self) -> Vec<NodeId> {
+        self.addr_bufs.pop().unwrap_or_default()
+    }
+
+    fn take_nets(&mut self) -> Vec<(NodeId, u8)> {
+        self.net_bufs.pop().unwrap_or_default()
+    }
+
+    /// Takes a fully processed packet apart and parks its vectors (cleared,
+    /// capacity kept) for the next [`decode_packet_with`] call.
+    pub fn recycle(&mut self, packet: Packet) {
+        let mut msgs = packet.messages;
+        for msg in msgs.drain(..) {
+            match msg.body {
+                MessageBody::Hello(h) => {
+                    let mut groups = h.groups;
+                    for g in groups.drain(..) {
+                        let mut addrs = g.addrs;
+                        addrs.clear();
+                        self.addr_bufs.push(addrs);
+                    }
+                    self.group_bufs.push(groups);
+                }
+                MessageBody::Tc(t) => {
+                    let mut addrs = t.advertised;
+                    addrs.clear();
+                    self.addr_bufs.push(addrs);
+                }
+                MessageBody::Mid(m) => {
+                    let mut addrs = m.aliases;
+                    addrs.clear();
+                    self.addr_bufs.push(addrs);
+                }
+                MessageBody::Hna(h) => {
+                    let mut nets = h.networks;
+                    nets.clear();
+                    self.net_bufs.push(nets);
+                }
+                MessageBody::Data(_) => {} // payload is a zero-copy slice
+            }
+        }
+        self.msg_bufs.push(msgs);
+    }
+}
+
 /// Decodes a packet from bytes.
+///
+/// Convenience wrapper around [`decode_packet_with`] paying fresh
+/// allocations; reception hot paths should hold a [`DecodeArena`].
 ///
 /// # Errors
 ///
 /// Returns a [`WireError`] when the buffer is truncated, a length field is
 /// inconsistent, or a message type is unknown.
-pub fn decode_packet(mut bytes: Bytes) -> Result<Packet, WireError> {
+pub fn decode_packet(bytes: Bytes) -> Result<Packet, WireError> {
+    let mut arena = DecodeArena::default();
+    decode_packet_with(&mut arena, bytes)
+}
+
+/// Decodes a packet drawing every vector from `arena` (see
+/// [`DecodeArena`]). Results are identical to [`decode_packet`] for every
+/// input. On error, partially drawn buffers are dropped, not leaked back
+/// into the arena — errors are the cold path.
+///
+/// # Errors
+///
+/// Same contract as [`decode_packet`].
+pub fn decode_packet_with(arena: &mut DecodeArena, mut bytes: Bytes) -> Result<Packet, WireError> {
     if bytes.len() < PACKET_HEADER_LEN {
         return Err(WireError::Truncated);
     }
@@ -161,14 +251,15 @@ pub fn decode_packet(mut bytes: Bytes) -> Result<Packet, WireError> {
     let seq = SequenceNumber(bytes.get_u16());
     // Protocol packets carry a handful of messages; clamp the hint so a
     // forged frame full of payload bytes cannot force a huge reservation.
-    let mut messages = Vec::with_capacity((bytes.remaining() / MESSAGE_HEADER_LEN).min(4));
+    let mut messages = arena.take_msgs();
+    messages.reserve((bytes.remaining() / MESSAGE_HEADER_LEN).min(4));
     while bytes.has_remaining() {
-        messages.push(decode_message(&mut bytes)?);
+        messages.push(decode_message(arena, &mut bytes)?);
     }
     Ok(Packet { seq, messages })
 }
 
-fn decode_message(bytes: &mut Bytes) -> Result<Message, WireError> {
+fn decode_message(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<Message, WireError> {
     if bytes.remaining() < MESSAGE_HEADER_LEN {
         return Err(WireError::Truncated);
     }
@@ -188,10 +279,11 @@ fn decode_message(bytes: &mut Bytes) -> Result<Message, WireError> {
     }
     let mut body_bytes = bytes.split_to(body_len);
     let body = match msg_type {
-        1 => MessageBody::Hello(decode_hello(&mut body_bytes)?),
-        2 => MessageBody::Tc(decode_tc(&mut body_bytes)?),
+        1 => MessageBody::Hello(decode_hello(arena, &mut body_bytes)?),
+        2 => MessageBody::Tc(decode_tc(arena, &mut body_bytes)?),
         3 => {
-            let mut aliases = Vec::with_capacity(body_bytes.remaining() / 2);
+            let mut aliases = arena.take_addrs();
+            aliases.reserve(body_bytes.remaining() / 2);
             while body_bytes.remaining() >= 2 {
                 aliases.push(NodeId(body_bytes.get_u16()));
             }
@@ -201,7 +293,8 @@ fn decode_message(bytes: &mut Bytes) -> Result<Message, WireError> {
             MessageBody::Mid(MidMessage { aliases })
         }
         4 => {
-            let mut networks = Vec::with_capacity(body_bytes.remaining() / 4);
+            let mut networks = arena.take_nets();
+            networks.reserve(body_bytes.remaining() / 4);
             while body_bytes.remaining() >= 4 {
                 let net = NodeId(body_bytes.get_u16());
                 let prefix = body_bytes.get_u8();
@@ -219,14 +312,14 @@ fn decode_message(bytes: &mut Bytes) -> Result<Message, WireError> {
     Ok(Message { vtime, originator, ttl, hop_count, seq, body })
 }
 
-fn decode_hello(bytes: &mut Bytes) -> Result<HelloMessage, WireError> {
+fn decode_hello(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<HelloMessage, WireError> {
     if bytes.remaining() < 4 {
         return Err(WireError::Truncated);
     }
     let _reserved = bytes.get_u16();
     let _htime = bytes.get_u8();
     let willingness = Willingness::from_wire(bytes.get_u8());
-    let mut groups = Vec::new();
+    let mut groups = arena.take_groups();
     while bytes.has_remaining() {
         if bytes.remaining() < 4 {
             return Err(WireError::Truncated);
@@ -241,7 +334,8 @@ fn decode_hello(bytes: &mut Bytes) -> Result<HelloMessage, WireError> {
         if bytes.remaining() < addr_bytes {
             return Err(WireError::Truncated);
         }
-        let mut addrs = Vec::with_capacity(addr_bytes / 2);
+        let mut addrs = arena.take_addrs();
+        addrs.reserve(addr_bytes / 2);
         for _ in 0..addr_bytes / 2 {
             addrs.push(NodeId(bytes.get_u16()));
         }
@@ -250,13 +344,14 @@ fn decode_hello(bytes: &mut Bytes) -> Result<HelloMessage, WireError> {
     Ok(HelloMessage { willingness, groups })
 }
 
-fn decode_tc(bytes: &mut Bytes) -> Result<TcMessage, WireError> {
+fn decode_tc(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<TcMessage, WireError> {
     if bytes.remaining() < 4 {
         return Err(WireError::Truncated);
     }
     let ansn = bytes.get_u16();
     let _reserved = bytes.get_u16();
-    let mut advertised = Vec::with_capacity(bytes.remaining() / 2);
+    let mut advertised = arena.take_addrs();
+    advertised.reserve(bytes.remaining() / 2);
     while bytes.remaining() >= 2 {
         advertised.push(NodeId(bytes.get_u16()));
     }
@@ -390,6 +485,30 @@ mod tests {
             let frame = encode_packet_into(&packet, &mut scratch);
             assert_eq!(frame, reference);
         }
+    }
+
+    #[test]
+    fn arena_decode_matches_fresh_decode_across_reuse() {
+        // One arena driven across many packets (including recycling after
+        // each) must produce exactly what a fresh decode produces, and
+        // reuse must not leak state between packets.
+        let mut arena = DecodeArena::default();
+        let packets =
+            [sample_packet(), Packet { seq: SequenceNumber(1), messages: vec![] }, sample_packet()];
+        for _ in 0..3 {
+            for p in &packets {
+                let bytes = encode_packet(p);
+                let fresh = decode_packet(bytes.clone()).expect("fresh decode");
+                let pooled = decode_packet_with(&mut arena, bytes).expect("arena decode");
+                assert_eq!(pooled, fresh);
+                arena.recycle(pooled);
+            }
+        }
+        // Errors must not poison the arena either.
+        assert!(decode_packet_with(&mut arena, Bytes::from_static(b"\x00\x03")).is_err());
+        let bytes = encode_packet(&sample_packet());
+        let after_err = decode_packet_with(&mut arena, bytes.clone()).unwrap();
+        assert_eq!(after_err, decode_packet(bytes).unwrap());
     }
 
     #[test]

@@ -149,7 +149,7 @@ proptest! {
         let until = SimTime::from_secs(1_000);
         for (i, &(a, b)) in edges.iter().enumerate() {
             if a != b {
-                topo.apply_tc(NodeId(a), i as u16, &[NodeId(b)], until);
+                topo.apply_tc(NodeId(a), i as u16, &[NodeId(b)], until, SimTime::ZERO);
             }
         }
         let me = NodeId(0);
@@ -187,7 +187,7 @@ proptest! {
         let until = SimTime::from_secs(1_000);
         for (i, &(a, b)) in edges.iter().enumerate() {
             if a != b {
-                topo.apply_tc(NodeId(a), i as u16, &[NodeId(b)], until);
+                topo.apply_tc(NodeId(a), i as u16, &[NodeId(b)], until, SimTime::ZERO);
             }
         }
         let sym = vec![NodeId(1), NodeId(2)];
@@ -257,7 +257,7 @@ proptest! {
         let mut set = DuplicateSet::default();
         let until = SimTime::from_secs(30);
         for &(orig, seq, retx) in &records {
-            set.record(NodeId(orig), SequenceNumber(seq), retx, until);
+            set.record(NodeId(orig), SequenceNumber(seq), retx, until, SimTime::ZERO);
         }
         let recorded = records.iter().any(|&(o, s, _)| o == probe_orig && s == probe_seq);
         prop_assert_eq!(
@@ -293,7 +293,7 @@ proptest! {
         let mut set = TwoHopSet::default();
         let until = SimTime::from_secs(10);
         for &(via, th) in &pairs {
-            set.upsert(NodeId(via), NodeId(th), until);
+            set.upsert(NodeId(via), NodeId(th), until, SimTime::ZERO);
         }
         let now = SimTime::from_secs(1);
         for &(via, th) in &pairs {
