@@ -320,8 +320,16 @@ impl<H: OlsrHooks> DetectorNode<H> {
                 events.extend(evs);
             }
         }
-        // 2. Periodic checks (E3, TC silence).
-        let silence = self.olsr.config().tc_interval * 4;
+        // 2. Periodic checks (E3, TC silence). The silence allowance keys
+        // off the scoped emission schedule: under fisheye flooding an MPR
+        // legitimately skips 1-hop-audible TC slots when no ring is due
+        // (sparse tables), so the allowance stretches by the worst-case
+        // gap between emissions a 1-hop neighbor hears. Every MPR of ours
+        // is 1 hop away, so `near_stride` is the right bound — with the
+        // default ring table it is 1 and detection behaves exactly as in
+        // classic flooding.
+        let olsr_cfg = self.olsr.config();
+        let silence = olsr_cfg.tc_interval * (4 * u64::from(olsr_cfg.flood_scope.near_stride()));
         events.extend(self.extractor.tick(now, silence));
 
         // 3. Feed the signature engine; open investigations on suspicion.

@@ -303,7 +303,13 @@ impl EventExtractor {
     /// "periodical/random checks"): E3 sole-connectivity and E2 TC-silence.
     ///
     /// `tc_silence_after`: how long an MPR may go without originating TCs
-    /// before being flagged (pass roughly 3 × TC interval).
+    /// before being flagged. Pass a few multiples of the *worst-case
+    /// emission period as heard at 1 hop* — with classic flooding that is
+    /// the TC interval, but under scoped (fisheye) dissemination a sparse
+    /// ring table may legitimately skip emission slots, so the caller
+    /// must stretch the allowance by the schedule's near stride
+    /// (`trustlink_olsr::FloodScope::near_stride`; the detector passes
+    /// `tc_interval × 4 × near_stride`).
     pub fn tick(
         &mut self,
         now: SimTime,

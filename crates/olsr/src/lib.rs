@@ -69,11 +69,14 @@ pub mod prelude {
     pub use crate::message::{HelloMessage, MessageBody, Packet, TcMessage};
     pub use crate::node::{OlsrNode, ReceivedData, RecomputeStats};
     pub use crate::routing::{Route, RoutingTable};
-    pub use crate::types::{OlsrConfig, RecomputeMode, SequenceNumber, Willingness};
+    pub use crate::types::{
+        FisheyeRing, FisheyeRings, FloodScope, OlsrConfig, RecomputeMode, SequenceNumber,
+        Willingness,
+    };
 }
 
 pub use hooks::{NoHooks, OlsrHooks};
 pub use logging::{parse_line, LogRecord};
 pub use node::{OlsrNode, ReceivedData, RecomputeStats};
 pub use routing::RoutingTable;
-pub use types::{OlsrConfig, RecomputeMode, Willingness};
+pub use types::{FisheyeRing, FisheyeRings, FloodScope, OlsrConfig, RecomputeMode, Willingness};

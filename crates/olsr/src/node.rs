@@ -10,7 +10,7 @@
 
 use bytes::Bytes;
 use rand::RngExt;
-use trustlink_sim::{Application, Context, NodeId, SimTime, TimerToken};
+use trustlink_sim::{Application, Context, FloodStats, NodeId, SimTime, TimerToken};
 
 use crate::hooks::{NoHooks, OlsrHooks};
 use crate::logging::{LogRecord, MessageKind, SuppressReason};
@@ -24,7 +24,7 @@ use crate::state::{
     DuplicateSet, InterfaceAssociationSet, LinkSet, LinkStatus, LinkTuple, MprSelectorSet,
     NeighborSet, TopologySet, TwoHopSet,
 };
-use crate::types::{OlsrConfig, RecomputeMode, SequenceNumber, Willingness};
+use crate::types::{FloodScope, OlsrConfig, RecomputeMode, SequenceNumber, Willingness};
 use crate::wire::{decode_packet_with, encode_packet_into, DecodeArena};
 
 /// Timer tokens used by the OLSR state machine. Wrappers layering their own
@@ -117,6 +117,11 @@ pub struct OlsrNode<H: OlsrHooks = NoHooks> {
     msg_seq: SequenceNumber,
     pkt_seq: SequenceNumber,
     inbox: Vec<ReceivedData>,
+    /// TC emission opportunities consumed while holding TC duty; drives
+    /// the fisheye ring schedule ([`FloodScope::Fisheye`]).
+    tc_emissions: u64,
+    /// Flood-frame accounting: TCs originated per ring, TCs re-flooded.
+    flood: FloodStats,
     flags: ChangeFlags,
     /// `true` while a [`TIMER_RECOMPUTE`] is pending (incremental mode).
     debounce_armed: bool,
@@ -186,6 +191,8 @@ impl<H: OlsrHooks> OlsrNode<H> {
             msg_seq: SequenceNumber(0),
             pkt_seq: SequenceNumber(0),
             inbox: Vec::new(),
+            tc_emissions: 0,
+            flood: FloodStats::default(),
             flags: ChangeFlags::default(),
             debounce_armed: false,
             stats: RecomputeStats::default(),
@@ -294,6 +301,13 @@ impl<H: OlsrHooks> OlsrNode<H> {
     /// Recompute-pipeline counters (flushes vs actual MPR/BFS executions).
     pub fn recompute_stats(&self) -> RecomputeStats {
         self.stats
+    }
+
+    /// Flood-frame accounting: TCs originated per [`FloodScope`] ring and
+    /// TCs this node re-flooded for others — the quantity fisheye scoping
+    /// attacks (classic flooding books everything into ring 0).
+    pub fn flood_stats(&self) -> &FloodStats {
+        &self.flood
     }
 
     /// The MPR set this node would materialize at `now`, computed from the
@@ -444,6 +458,25 @@ impl<H: OlsrHooks> OlsrNode<H> {
         if selectors.is_empty() && self.last_advertised.is_empty() {
             return; // not an MPR: no TC duty
         }
+        // An emission opportunity with TC duty: consume one schedule slot.
+        // The counter starts at emission 1, so a fresh MPR's first TC
+        // covers the innermost ring and the network-wide advertisement
+        // follows within one ring cycle.
+        self.tc_emissions += 1;
+        let (ring, ttl, vtime) = match &self.config.flood_scope {
+            FloodScope::Classic => (0, self.config.default_ttl, self.config.topology_hold_time),
+            FloodScope::Fisheye(rings) => {
+                match rings.ring_for_emission(self.tc_emissions) {
+                    // The advertised validity stretches with the ring
+                    // stride: a node that only this ring reaches must hold
+                    // the tuples until the next emission that reaches it.
+                    Some((idx, r)) => {
+                        (idx, r.ttl, self.config.topology_hold_time * u64::from(r.every))
+                    }
+                    None => return, // sparse table: no ring due this slot
+                }
+            }
+        };
         let mut advertised = selectors;
         match self.config.tc_redundancy {
             crate::types::TcRedundancy::MprSelectors => {}
@@ -463,10 +496,11 @@ impl<H: OlsrHooks> OlsrNode<H> {
         let mut tc = TcMessage { ansn: self.ansn, advertised };
         self.hooks.on_tc_tx(&mut tc, now);
         ctx.log(LogRecord::TcTx { ansn: tc.ansn, advertised: tc.advertised.clone() }.to_line());
+        self.flood.record_originated(ring);
         let msg = Message {
-            vtime: self.config.topology_hold_time,
+            vtime,
             originator: self.id,
-            ttl: self.config.default_ttl,
+            ttl,
             hop_count: 0,
             seq: self.next_msg_seq(),
             body: MessageBody::Tc(tc),
@@ -724,6 +758,9 @@ impl<H: OlsrHooks> OlsrNode<H> {
         fwd.hop_count += 1;
         self.hooks.on_forward(&mut fwd, from);
         self.duplicates.record(msg.originator, msg.seq, true, dup_until, now);
+        if kind == MessageKind::Tc {
+            self.flood.forwarded += 1;
+        }
         ctx.log(
             LogRecord::Forwarded { originator: msg.originator, kind, seq: msg.seq.0, from }
                 .to_line(),
@@ -1225,6 +1262,186 @@ mod tests {
         assert!(
             topo_edges.iter().any(|(lh, d)| lh.0 >= 2 || d.0 >= 2),
             "no remote topology learned: {topo_edges:?}"
+        );
+    }
+
+    /// Records `(ttl, hop_count)` of every message this node re-floods,
+    /// as mutated just before retransmission.
+    #[derive(Default)]
+    struct RecordForwards {
+        seen: Vec<(u8, u8)>,
+    }
+
+    impl crate::hooks::OlsrHooks for RecordForwards {
+        fn on_forward(&mut self, msg: &mut Message, _from: NodeId) {
+            self.seen.push((msg.ttl, msg.hop_count));
+        }
+    }
+
+    /// A 3-node line whose middle node records its re-floods: both ends
+    /// select the middle as MPR, so a flood injected at N0 exercises the
+    /// default forwarding algorithm at N1.
+    fn converged_line_with_recorder(seed: u64) -> trustlink_sim::Simulator {
+        let mut sim = SimulatorBuilder::new(seed)
+            .radio(RadioConfig::unit_disk(150.0))
+            .arena(trustlink_sim::Arena::new(10_000.0, 10_000.0))
+            .build();
+        for i in 0..3 {
+            let app: Box<dyn trustlink_sim::Application> = if i == 1 {
+                Box::new(OlsrNode::with_hooks(OlsrConfig::fast(), RecordForwards::default()))
+            } else {
+                Box::new(OlsrNode::new(OlsrConfig::fast()))
+            };
+            sim.add_node(app, Position::new(f64::from(i) * 100.0, 0.0));
+        }
+        sim.run_for(SimDuration::from_secs(10));
+        let mid = sim.app_as::<OlsrNode<RecordForwards>>(NodeId(1)).unwrap();
+        assert!(
+            mid.mpr_selectors(sim.now()).contains(&NodeId(0)),
+            "N0 must select N1 as MPR for the forwarding tests to bite"
+        );
+        sim
+    }
+
+    /// Injects a crafted TC flood as if broadcast by N0.
+    fn inject_tc(sim: &mut trustlink_sim::Simulator, seq: u16, ttl: u8, hop_count: u8) {
+        let msg = Message {
+            vtime: SimDuration::from_secs(6),
+            originator: NodeId(0),
+            ttl,
+            hop_count,
+            seq: SequenceNumber(seq),
+            body: MessageBody::Tc(TcMessage { ansn: seq, advertised: vec![NodeId(1)] }),
+        };
+        let packet = Packet { seq: SequenceNumber(seq), messages: vec![msg] };
+        sim.inject_broadcast(NodeId(0), encode_packet(&packet));
+        sim.run_for(SimDuration::from_millis(200));
+    }
+
+    fn mid_lines(sim: &trustlink_sim::Simulator, prefix: &str, seq: u16) -> usize {
+        let needle = format!("seq={seq}");
+        sim.log(NodeId(1)).lines().filter(|l| l.starts_with(prefix) && l.contains(&needle)).count()
+    }
+
+    #[test]
+    fn forward_flooded_drops_exhausted_ttl() {
+        let mut sim = converged_line_with_recorder(41);
+        let fwd_before = sim.app_as::<OlsrNode<RecordForwards>>(NodeId(1)).unwrap().flood.forwarded;
+        inject_tc(&mut sim, 900, 1, 0);
+        let mid = sim.app_as::<OlsrNode<RecordForwards>>(NodeId(1)).unwrap();
+        assert!(mid.hooks().seen.is_empty(), "a ttl=1 flood must never reach on_forward");
+        assert_eq!(mid.flood.forwarded, fwd_before, "ttl=1 flood counted as forwarded");
+        assert_eq!(mid_lines(&sim, "FWD_SUPPRESS", 900), 1);
+        assert!(
+            sim.log(NodeId(1)).lines().any(|l| l.starts_with("FWD_SUPPRESS")
+                && l.contains("seq=900")
+                && l.contains("reason=ttl-expired")),
+            "suppression must cite the exhausted TTL"
+        );
+        assert_eq!(mid_lines(&sim, "FWD ", 900), 0);
+    }
+
+    #[test]
+    fn forward_flooded_decrements_ttl_and_increments_hop_count() {
+        let mut sim = converged_line_with_recorder(43);
+        inject_tc(&mut sim, 901, 5, 2);
+        let mid = sim.app_as::<OlsrNode<RecordForwards>>(NodeId(1)).unwrap();
+        assert_eq!(mid.hooks().seen, vec![(4, 3)], "re-flood must carry ttl-1, hop_count+1");
+        assert_eq!(mid_lines(&sim, "FWD ", 901), 1);
+        // The re-flood reaches the far end of the line (out of N0's range).
+        assert!(
+            sim.log(NodeId(2))
+                .lines()
+                .any(|l| l.starts_with("TC_RX orig=N0") && l.contains("ansn=901")),
+            "forwarded TC never reached the 2-hop node"
+        );
+    }
+
+    #[test]
+    fn forward_flooded_suppresses_duplicate_refloods() {
+        let mut sim = converged_line_with_recorder(47);
+        inject_tc(&mut sim, 902, 8, 0);
+        inject_tc(&mut sim, 902, 8, 0); // the same (originator, seq) again
+        let mid = sim.app_as::<OlsrNode<RecordForwards>>(NodeId(1)).unwrap();
+        assert_eq!(mid.hooks().seen.len(), 1, "duplicate flood was retransmitted");
+        assert_eq!(mid_lines(&sim, "FWD ", 902), 1);
+        assert!(
+            sim.log(NodeId(1)).lines().any(|l| l.starts_with("FWD_SUPPRESS")
+                && l.contains("seq=902")
+                && l.contains("reason=duplicate")),
+            "second copy must be suppressed as a duplicate"
+        );
+    }
+
+    #[test]
+    fn fisheye_ttl_scopes_flood_reach() {
+        // A 5-node line under a single TTL-2 ring: N1's TCs (selected by
+        // N0) reach N3 (2 hops) but die before N4; classic floods reach
+        // the whole line. This is the TTL mechanics the ring schedule
+        // leans on, observed end-to-end.
+        let run = |scope: crate::types::FloodScope| {
+            let cfg = OlsrConfig::fast().with_flood_scope(scope);
+            let mut sim = SimulatorBuilder::new(53)
+                .radio(RadioConfig::unit_disk(150.0))
+                .arena(trustlink_sim::Arena::new(10_000.0, 10_000.0))
+                .build();
+            for i in 0..5 {
+                sim.add_node(
+                    Box::new(OlsrNode::new(cfg.clone())),
+                    Position::new(f64::from(i) * 100.0, 0.0),
+                );
+            }
+            sim.run_for(SimDuration::from_secs(20));
+            sim
+        };
+        let heard_n1 = |sim: &trustlink_sim::Simulator, id: u16| {
+            sim.log(NodeId(id)).lines().any(|l| l.starts_with("TC_RX orig=N1"))
+        };
+        let classic = run(crate::types::FloodScope::Classic);
+        assert!(heard_n1(&classic, 3) && heard_n1(&classic, 4), "classic floods reach everyone");
+        let scoped =
+            run(crate::types::FloodScope::Fisheye(crate::types::FisheyeRings::new([(2, 1)])));
+        assert!(heard_n1(&scoped, 3), "a TTL-2 flood must still cover 2 hops");
+        assert!(!heard_n1(&scoped, 4), "a TTL-2 flood must die beyond 2 hops");
+    }
+
+    #[test]
+    fn fisheye_stretches_vtime_per_ring() {
+        // The outermost ring's TCs must advertise a validity stretched by
+        // its stride, so topology learned only from rare network-wide
+        // floods is held across the gap instead of flapping. Observable
+        // only at a listener the inner ring never reaches: a nearer node
+        // keeps hearing short-validity inner-ring TCs, and the latest
+        // message's vtime legitimately replaces the old one (RFC 3626
+        // §9.5). N4 on a 5-node line is 3 hops from the originator N1,
+        // beyond the TTL-2 inner ring.
+        let rings = crate::types::FisheyeRings::new([(2, 1), (255, 4)]);
+        let cfg = OlsrConfig::fast().with_flood_scope(crate::types::FloodScope::Fisheye(rings));
+        let mut sim = SimulatorBuilder::new(59)
+            .radio(RadioConfig::unit_disk(150.0))
+            .arena(trustlink_sim::Arena::new(10_000.0, 10_000.0))
+            .build();
+        for i in 0..5 {
+            sim.add_node(
+                Box::new(OlsrNode::new(cfg.clone())),
+                Position::new(f64::from(i) * 100.0, 0.0),
+            );
+        }
+        sim.run_for(SimDuration::from_secs(30));
+        let now = sim.now();
+        let far = sim.app_as::<OlsrNode>(NodeId(4)).unwrap();
+        let hold = far.config().topology_hold_time;
+        let from_n1 = far
+            .topology_set()
+            .iter(now)
+            .filter(|t| t.last_hop == NodeId(1))
+            .map(|t| t.until.saturating_since(now))
+            .max()
+            .expect("N4 must have learned N1's advertisement from the unbounded ring");
+        assert!(
+            from_n1 > hold * 2,
+            "outermost-ring TCs must stretch validity beyond the base hold time \
+             (saw {from_n1:?}, base {hold:?})"
         );
     }
 

@@ -135,6 +135,160 @@ pub enum RecomputeMode {
     Eager,
 }
 
+/// One ring of a fisheye TC schedule: emissions landing in this ring are
+/// scoped to `ttl` hops and happen every `every`-th TC opportunity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FisheyeRing {
+    /// Emission TTL: the flood dies `ttl` hops from the originator.
+    pub ttl: u8,
+    /// Emit into this ring every `every`-th TC emission (1 = every time).
+    pub every: u32,
+}
+
+/// A validated fisheye ring table, innermost ring first.
+///
+/// The schedule works on a per-node emission counter `k` (1, 2, 3, …):
+/// at emission `k` the node floods with the TTL of the *outermost* ring
+/// whose `every` divides `k`. With the default table
+/// `[(ttl 2, every 1), (ttl 8, every 2), (ttl 255, every 4)]` the
+/// sequence of scopes is `2, 8, 2, 255, 2, 8, 2, 255, …`: the 2-hop
+/// neighborhood hears every TC, the 8-hop ring every other one, and the
+/// whole network every fourth. Each emission advertises a validity of
+/// `topology_hold_time × every`, so a node that only ever hears ring-`r`
+/// TCs holds the tuples long enough to bridge the gap to the next
+/// emission that reaches it — distant topology refreshes slowly and ages
+/// slowly instead of flapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FisheyeRings {
+    rings: Vec<FisheyeRing>,
+}
+
+impl FisheyeRings {
+    /// Builds a ring table from `(ttl, every)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is empty, a TTL is zero, a stride is zero, or
+    /// TTLs are not strictly ascending (inner rings must be tighter).
+    pub fn new(rings: impl IntoIterator<Item = (u8, u32)>) -> Self {
+        let rings: Vec<FisheyeRing> =
+            rings.into_iter().map(|(ttl, every)| FisheyeRing { ttl, every }).collect();
+        assert!(!rings.is_empty(), "fisheye ring table must not be empty");
+        for r in &rings {
+            assert!(r.ttl >= 1, "fisheye ring TTL must be at least 1");
+            assert!(r.every >= 1, "fisheye ring stride must be at least 1");
+        }
+        assert!(
+            rings.windows(2).all(|w| w[0].ttl < w[1].ttl),
+            "fisheye ring TTLs must be strictly ascending"
+        );
+        FisheyeRings { rings }
+    }
+
+    /// A single unbounded ring emitted every interval: schedules exactly
+    /// like [`FloodScope::Classic`] (the byte-identity configuration the
+    /// equivalence suite pins).
+    pub fn single_unbounded(ttl: u8) -> Self {
+        FisheyeRings::new([(ttl, 1)])
+    }
+
+    /// The rings, innermost first.
+    pub fn rings(&self) -> &[FisheyeRing] {
+        &self.rings
+    }
+
+    /// Number of rings.
+    pub fn len(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// `true` when the table has no rings (never: the constructor forbids
+    /// it; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.rings.is_empty()
+    }
+
+    /// The ring used for emission number `k` (1-based): the outermost ring
+    /// whose stride divides `k`, or `None` when no ring is due (possible
+    /// only when no ring has stride 1).
+    pub fn ring_for_emission(&self, k: u64) -> Option<(usize, FisheyeRing)> {
+        self.rings
+            .iter()
+            .enumerate()
+            .rfind(|(_, r)| k.is_multiple_of(u64::from(r.every)))
+            .map(|(i, r)| (i, *r))
+    }
+
+    /// Worst-case number of TC opportunities between emissions that reach
+    /// a 1-hop neighbor. Every ring reaches 1 hop (TTL ≥ 1), and among
+    /// the slots where *some* ring fires, consecutive multiples of the
+    /// smallest stride are never further apart than that stride.
+    pub fn near_stride(&self) -> u32 {
+        self.rings.iter().map(|r| r.every).min().expect("ring table is never empty")
+    }
+
+    /// Worst-case number of TC opportunities between emissions that reach
+    /// a node `hops` away, or `None` when no ring reaches that far.
+    pub fn stride_covering(&self, hops: u8) -> Option<u32> {
+        self.rings.iter().filter(|r| r.ttl >= hops).map(|r| r.every).min()
+    }
+}
+
+impl Default for FisheyeRings {
+    /// `[(ttl 2, every 1), (ttl 8, every 2), (ttl 255, every 4)]`.
+    fn default() -> Self {
+        FisheyeRings::new([(2, 1), (8, 2), (255, 4)])
+    }
+}
+
+/// How far a node's TCs travel (the flooding scope). Scopes TC
+/// dissemination only — MID/HNA floods are rare and keep `default_ttl`.
+///
+/// The third oracle pair of the codebase, after `ScanMode::Linear` and
+/// [`RecomputeMode::Eager`] — with one essential difference: `Fisheye` is
+/// *not* byte-identical to `Classic`. It deliberately changes what is on
+/// the air (fewer, scoped floods), so the pinned contract is quantitative
+/// instead: detection scenarios reach the same convictions, route stretch
+/// stays bounded, and forwarded TC frames drop by an asymptotic factor of
+/// the outermost stride (`tests/fisheye_equivalence.rs`,
+/// `BENCH_scale.json`). A `Fisheye` with a single unbounded every-interval
+/// ring *is* byte-identical to `Classic`, which anchors the scoped mode to
+/// the oracle.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum FloodScope {
+    /// Every TC floods network-wide (`default_ttl`) — RFC 3626 behaviour,
+    /// the equivalence oracle and benchmark baseline. O(n²) forwarded
+    /// frames per TC interval.
+    #[default]
+    Classic,
+    /// Graded per-ring TC scoping: nearby topology stays fresh while far
+    /// topology refreshes (and expires) slowly. O(n·√n)-ish forwarded
+    /// frames per interval with the default table.
+    Fisheye(FisheyeRings),
+}
+
+impl FloodScope {
+    /// Worst-case number of TC opportunities between emissions a 1-hop
+    /// neighbor hears: 1 for [`FloodScope::Classic`], the smallest ring
+    /// stride for [`FloodScope::Fisheye`]. The E2 TC-silence rule keys
+    /// its allowance off this so scoped emission is never mistaken for
+    /// misbehaviour.
+    pub fn near_stride(&self) -> u32 {
+        match self {
+            FloodScope::Classic => 1,
+            FloodScope::Fisheye(rings) => rings.near_stride(),
+        }
+    }
+
+    /// Number of distinct rings the scope schedules (1 for classic).
+    pub fn ring_count(&self) -> usize {
+        match self {
+            FloodScope::Classic => 1,
+            FloodScope::Fisheye(rings) => rings.len(),
+        }
+    }
+}
+
 /// Protocol timing and behaviour parameters (RFC 3626 §18 defaults).
 #[derive(Debug, Clone, PartialEq)]
 pub struct OlsrConfig {
@@ -164,6 +318,8 @@ pub struct OlsrConfig {
     /// burst of state-changing receptions inside one window triggers a
     /// single deferred recomputation. Ignored in eager mode.
     pub recompute_debounce: SimDuration,
+    /// How far TCs flood (see [`FloodScope`]).
+    pub flood_scope: FloodScope,
 }
 
 impl OlsrConfig {
@@ -184,6 +340,7 @@ impl OlsrConfig {
             tc_redundancy: TcRedundancy::default(),
             recompute: RecomputeMode::default(),
             recompute_debounce: SimDuration::from_millis(100),
+            flood_scope: FloodScope::default(),
         }
     }
 
@@ -205,6 +362,7 @@ impl OlsrConfig {
             tc_redundancy: TcRedundancy::default(),
             recompute: RecomputeMode::default(),
             recompute_debounce: SimDuration::from_millis(100),
+            flood_scope: FloodScope::default(),
         }
     }
 
@@ -223,6 +381,12 @@ impl OlsrConfig {
     /// Replaces the TC advertisement richness.
     pub fn with_tc_redundancy(mut self, r: TcRedundancy) -> Self {
         self.tc_redundancy = r;
+        self
+    }
+
+    /// Replaces the TC flooding scope.
+    pub fn with_flood_scope(mut self, scope: FloodScope) -> Self {
+        self.flood_scope = scope;
         self
     }
 }
@@ -322,6 +486,79 @@ mod tests {
         let c = OlsrConfig::fast();
         assert_eq!(c.neighbor_hold_time, c.hello_interval * 3);
         assert_eq!(c.topology_hold_time, c.tc_interval * 3);
+    }
+
+    #[test]
+    fn fisheye_ring_selection_follows_strides() {
+        let rings = FisheyeRings::default();
+        // k = 1..=8: 2, 8, 2, 255, 2, 8, 2, 255.
+        let scopes: Vec<u8> =
+            (1..=8).map(|k| rings.ring_for_emission(k).expect("ring due").1.ttl).collect();
+        assert_eq!(scopes, vec![2, 8, 2, 255, 2, 8, 2, 255]);
+        // Ring indexes follow the table order.
+        assert_eq!(rings.ring_for_emission(4).unwrap().0, 2);
+        assert_eq!(rings.ring_for_emission(2).unwrap().0, 1);
+        assert_eq!(rings.ring_for_emission(1).unwrap().0, 0);
+    }
+
+    #[test]
+    fn fisheye_sparse_table_can_skip_emissions() {
+        // No stride-1 ring: odd emissions are skipped entirely.
+        let rings = FisheyeRings::new([(4, 2), (255, 4)]);
+        assert!(rings.ring_for_emission(1).is_none());
+        assert_eq!(rings.ring_for_emission(2).unwrap().1.ttl, 4);
+        assert_eq!(rings.ring_for_emission(4).unwrap().1.ttl, 255);
+        assert_eq!(rings.near_stride(), 2);
+    }
+
+    #[test]
+    fn fisheye_stride_covering_picks_tightest_reaching_ring() {
+        let rings = FisheyeRings::default();
+        assert_eq!(rings.stride_covering(1), Some(1));
+        assert_eq!(rings.stride_covering(2), Some(1));
+        assert_eq!(rings.stride_covering(3), Some(2));
+        assert_eq!(rings.stride_covering(8), Some(2));
+        assert_eq!(rings.stride_covering(9), Some(4));
+        assert_eq!(rings.stride_covering(255), Some(4));
+        let bounded = FisheyeRings::new([(2, 1), (8, 2)]);
+        assert_eq!(bounded.stride_covering(9), None);
+    }
+
+    #[test]
+    fn flood_scope_near_stride() {
+        assert_eq!(FloodScope::Classic.near_stride(), 1);
+        assert_eq!(FloodScope::Fisheye(FisheyeRings::default()).near_stride(), 1);
+        assert_eq!(FloodScope::Fisheye(FisheyeRings::new([(4, 2), (255, 4)])).near_stride(), 2);
+        assert_eq!(FloodScope::Classic.ring_count(), 1);
+        assert_eq!(FloodScope::Fisheye(FisheyeRings::default()).ring_count(), 3);
+    }
+
+    #[test]
+    fn single_unbounded_ring_schedules_like_classic() {
+        let rings = FisheyeRings::single_unbounded(255);
+        for k in 1..=16 {
+            let (idx, ring) = rings.ring_for_emission(k).expect("always due");
+            assert_eq!((idx, ring.ttl, ring.every), (0, 255, 1));
+        }
+        assert_eq!(rings.near_stride(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn fisheye_rejects_non_ascending_ttls() {
+        let _ = FisheyeRings::new([(8, 1), (8, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn fisheye_rejects_empty_table() {
+        let _ = FisheyeRings::new([]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be at least 1")]
+    fn fisheye_rejects_zero_stride() {
+        let _ = FisheyeRings::new([(2, 0)]);
     }
 
     #[test]

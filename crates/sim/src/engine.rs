@@ -100,7 +100,14 @@ pub struct SimulatorBuilder {
     radio: RadioConfig,
     mobility_tick: SimDuration,
     scan_mode: ScanMode,
+    expected_nodes: usize,
 }
+
+/// Event-queue capacity reserved per expected node: a handful of pending
+/// protocol timers plus the in-flight deliveries of a broadcast burst.
+/// Purely a pre-allocation hint — the heap still grows past it when a
+/// flood spikes, it just no longer doubles its way up from empty.
+const EVENTS_PER_NODE_HINT: usize = 16;
 
 impl SimulatorBuilder {
     /// Starts a builder with the given RNG seed.
@@ -111,6 +118,7 @@ impl SimulatorBuilder {
             radio: RadioConfig::default(),
             mobility_tick: SimDuration::from_millis(500),
             scan_mode: ScanMode::default(),
+            expected_nodes: 0,
         }
     }
 
@@ -145,26 +153,39 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Declares how many nodes the scenario is about to add, so the event
+    /// heap, node slots, traffic counters and per-callback scratch buffers
+    /// are sized once up front and steady-state event scheduling never
+    /// reallocates. Purely a capacity hint: it changes no behaviour, and
+    /// adding more (or fewer) nodes than declared stays correct.
+    pub fn expected_nodes(mut self, n: usize) -> Self {
+        self.expected_nodes = n.min(usize::from(u16::MAX));
+        self
+    }
+
     /// Finalizes the configuration into an empty simulator.
     pub fn build(self) -> Simulator {
         let grid = SpatialGrid::new(&self.arena, self.radio.propagation.max_range());
+        let n = self.expected_nodes;
+        let mut stats = TrafficStats::default();
+        stats.reserve_nodes(n);
         Simulator {
             time: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(n.saturating_mul(EVENTS_PER_NODE_HINT)),
             seq: 0,
-            slots: Vec::new(),
+            slots: Vec::with_capacity(n),
             radio: self.radio,
             arena: self.arena,
             rng: StdRng::seed_from_u64(self.seed),
-            stats: TrafficStats::default(),
+            stats,
             mobility_tick: self.mobility_tick,
             mobility_scheduled: false,
             halted: false,
             grid,
             scan_mode: self.scan_mode,
             alive_count: 0,
-            scratch_commands: Vec::new(),
-            scratch_candidates: Vec::new(),
+            scratch_commands: Vec::with_capacity(if n > 0 { 64 } else { 0 }),
+            scratch_candidates: Vec::with_capacity(if n > 0 { 256 } else { 0 }),
         }
     }
 }
@@ -910,6 +931,46 @@ mod tests {
         assert!(sim.neighbors_in_range(a).is_empty());
         sim.revive(b);
         assert_eq!(sim.neighbors_in_range(a), vec![b]);
+    }
+
+    #[test]
+    fn expected_nodes_hint_changes_nothing_but_capacity() {
+        let run = |hint: usize| {
+            let mut builder = SimulatorBuilder::new(9)
+                .arena(Arena::new(600.0, 600.0))
+                .radio(RadioConfig::unit_disk(150.0).with_loss(0.2));
+            if hint > 0 {
+                builder = builder.expected_nodes(hint);
+            }
+            let mut sim = builder.build();
+            for i in 0..12u16 {
+                sim.add_node(
+                    Box::new(Chatter::new(3)),
+                    Position::new(f64::from(i % 4) * 90.0, f64::from(i / 4) * 90.0),
+                );
+            }
+            sim.run_for(SimDuration::from_secs(2));
+            let mut out = format!("{:?}\n", sim.stats());
+            for id in sim.node_ids().collect::<Vec<_>>() {
+                for (at, line) in sim.log(id).entries() {
+                    out.push_str(&format!("{id} {at:?} {line}\n"));
+                }
+            }
+            out
+        };
+        // Hinted exactly, over-hinted, under-hinted and unhinted runs are
+        // byte-identical: the hint is capacity only.
+        let baseline = run(0);
+        assert_eq!(run(12), baseline);
+        assert_eq!(run(500), baseline);
+        assert_eq!(run(4), baseline);
+    }
+
+    #[test]
+    fn expected_nodes_presizes_the_event_queue() {
+        let sim = SimulatorBuilder::new(1).expected_nodes(100).build();
+        assert!(sim.queue.capacity() >= 100 * EVENTS_PER_NODE_HINT);
+        assert!(sim.slots.capacity() >= 100);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::mobility::{Arena, MobilityModel, Position};
     pub use crate::node::{Application, Context, LogBuffer, NodeId, TimerToken};
     pub use crate::radio::{Propagation, RadioConfig};
-    pub use crate::stats::TrafficStats;
+    pub use crate::stats::{FloodStats, TrafficStats};
     pub use crate::time::{SimDuration, SimTime};
 }
 
@@ -76,5 +76,5 @@ pub use grid::SpatialGrid;
 pub use mobility::{Arena, MobilityModel, Position};
 pub use node::{Application, Context, LogBuffer, NodeId, TimerToken};
 pub use radio::{Propagation, RadioConfig};
-pub use stats::TrafficStats;
+pub use stats::{FloodStats, TrafficStats};
 pub use time::{SimDuration, SimTime};

@@ -39,6 +39,13 @@ impl TrafficStats {
         }
     }
 
+    /// Reserves capacity for `n` node entries without materializing them
+    /// (capacity only: observable state, including `Debug` output, is
+    /// untouched).
+    pub(crate) fn reserve_nodes(&mut self, n: usize) {
+        self.per_node.reserve(n.saturating_sub(self.per_node.len()));
+    }
+
     pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut NodeStats {
         self.ensure_node(id);
         &mut self.per_node[id.index()]
@@ -70,6 +77,45 @@ impl TrafficStats {
     }
 }
 
+/// Per-ring control-flood accounting for scoped dissemination schemes
+/// (fisheye TC scoping), maintained by the application that owns the ring
+/// schedule — the engine sees only opaque frames and cannot classify
+/// them. Ring indexes are scheme-defined (classic flooding uses a single
+/// ring 0); the vector grows on demand so one type serves any table size.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FloodStats {
+    /// Flood frames originated by this node, indexed by ring.
+    pub originated_per_ring: Vec<u64>,
+    /// Flood frames this node retransmitted on behalf of others.
+    pub forwarded: u64,
+}
+
+impl FloodStats {
+    /// Counts one originated flood frame in `ring`.
+    pub fn record_originated(&mut self, ring: usize) {
+        if self.originated_per_ring.len() <= ring {
+            self.originated_per_ring.resize(ring + 1, 0);
+        }
+        self.originated_per_ring[ring] += 1;
+    }
+
+    /// Total originated flood frames across all rings.
+    pub fn originated_total(&self) -> u64 {
+        self.originated_per_ring.iter().sum()
+    }
+
+    /// Folds another node's counters into this one (benchmark aggregation).
+    pub fn merge(&mut self, other: &FloodStats) {
+        if self.originated_per_ring.len() < other.originated_per_ring.len() {
+            self.originated_per_ring.resize(other.originated_per_ring.len(), 0);
+        }
+        for (mine, theirs) in self.originated_per_ring.iter_mut().zip(&other.originated_per_ring) {
+            *mine += theirs;
+        }
+        self.forwarded += other.forwarded;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +142,24 @@ mod tests {
         let stats = TrafficStats::default();
         assert_eq!(stats.node(NodeId(9)), NodeStats::default());
         assert_eq!(stats.total_sent(), 0);
+    }
+
+    #[test]
+    fn flood_stats_record_and_merge() {
+        let mut a = FloodStats::default();
+        a.record_originated(0);
+        a.record_originated(2); // grows through the gap
+        a.record_originated(2);
+        a.forwarded += 5;
+        assert_eq!(a.originated_per_ring, vec![1, 0, 2]);
+        assert_eq!(a.originated_total(), 3);
+
+        let mut b = FloodStats::default();
+        b.record_originated(1);
+        b.forwarded = 7;
+        b.merge(&a);
+        assert_eq!(b.originated_per_ring, vec![1, 1, 2]);
+        assert_eq!(b.originated_total(), 4);
+        assert_eq!(b.forwarded, 12);
     }
 }
