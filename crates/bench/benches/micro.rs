@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use trustlink_olsr::logging::{parse_line, LogRecord};
+use trustlink_olsr::logging::{from_rlog_line, parse_line, LogRecord};
 use trustlink_olsr::message::{
     HelloMessage, LinkCode, LinkGroup, LinkType, Message, MessageBody, NeighborType, Packet,
     TcMessage,
@@ -119,6 +119,15 @@ fn bench_log_pipeline(c: &mut Criterion) {
     c.bench_function("log_render", |b| b.iter(|| black_box(record.to_line())));
     let line = record.to_line();
     c.bench_function("log_parse", |b| b.iter(|| black_box(parse_line(black_box(&line))).unwrap()));
+    // The framed flight-recorder form: `<micros> <node> <line>`.
+    let at = SimTime::from_secs(17);
+    c.bench_function("rlog_render", |b| {
+        b.iter(|| black_box(record.to_rlog(black_box(at), black_box(NodeId(3)))))
+    });
+    let rlog = record.to_rlog(at, NodeId(3));
+    c.bench_function("rlog_parse", |b| {
+        b.iter(|| black_box(from_rlog_line(black_box(&rlog))).unwrap())
+    });
 }
 
 fn bench_signature_engine(c: &mut Criterion) {

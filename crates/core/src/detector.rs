@@ -29,6 +29,7 @@ use trustlink_ids::signature::{SignatureEngine, SignatureMatch};
 use trustlink_olsr::hooks::{NoHooks, OlsrHooks};
 use trustlink_olsr::node::OlsrNode;
 use trustlink_olsr::types::OlsrConfig;
+use trustlink_sim::record::LogRecord;
 use trustlink_sim::{Application, Context, NodeId, SimDuration, SimTime, TimerToken};
 use trustlink_trust::aggregate::{
     answered_samples, detection_value, unweighted_detection_value, weighted_evidence_samples,
@@ -99,6 +100,12 @@ pub struct DetectorConfig {
     /// (formulas 6/7; see [`DetectorNode::indirect_trust_of`]). `None`
     /// disables the exchange.
     pub gossip_interval: Option<SimDuration>,
+    /// Keep flight-recorder side history: when each analysis pass sampled
+    /// the log ([`DetectorNode::analysis_ticks`]) and every detection event
+    /// it extracted ([`DetectorNode::extracted_events`]). Off by default —
+    /// long large-network runs would hold the whole event history in
+    /// memory; replay/audit scenarios switch it on.
+    pub flight_recording: bool,
 }
 
 impl Default for DetectorConfig {
@@ -121,6 +128,7 @@ impl Default for DetectorConfig {
             warmup: SimDuration::from_secs(15),
             trust_slot_interval: SimDuration::from_secs(10),
             gossip_interval: None,
+            flight_recording: false,
         }
     }
 }
@@ -175,6 +183,12 @@ pub struct DetectorNode<H: OlsrHooks = NoHooks> {
     /// Suspicious triggers observed during warmup, investigated once the
     /// routing view has converged. Maps suspect to the contested-link hint.
     pending_suspects: BTreeMap<NodeId, Option<NodeId>>,
+    /// `(when, log cursor after the pass)` per analysis pass; only kept
+    /// when [`DetectorConfig::flight_recording`] is on.
+    analysis_ticks: Vec<(SimTime, usize)>,
+    /// Every detection event extracted, in extraction order; only kept
+    /// when [`DetectorConfig::flight_recording`] is on.
+    extracted_events: Vec<DetectionEvent>,
 }
 
 impl DetectorNode<NoHooks> {
@@ -218,6 +232,8 @@ impl<H: OlsrHooks> DetectorNode<H> {
             last_slot: SimTime::ZERO,
             recommendations: BTreeMap::new(),
             pending_suspects: BTreeMap::new(),
+            analysis_ticks: Vec::new(),
+            extracted_events: Vec::new(),
         }
     }
 
@@ -275,6 +291,18 @@ impl<H: OlsrHooks> DetectorNode<H> {
         self.cases.len()
     }
 
+    /// When each analysis pass sampled the log, with the log cursor after
+    /// the pass. Empty unless [`DetectorConfig::flight_recording`] is on.
+    pub fn analysis_ticks(&self) -> &[(SimTime, usize)] {
+        &self.analysis_ticks
+    }
+
+    /// Every detection event extracted from the audit log, in extraction
+    /// order. Empty unless [`DetectorConfig::flight_recording`] is on.
+    pub fn extracted_events(&self) -> &[DetectionEvent] {
+        &self.extracted_events
+    }
+
     /// Trust in `target` propagated from the neighbors' recommendations:
     /// formula (7) multipath merge, each recommendation discounted by the
     /// recommender's own trustworthiness (formula 6 via
@@ -307,18 +335,17 @@ impl<H: OlsrHooks> DetectorNode<H> {
         // eager oracle and the incremental mode then feed this detector
         // identical per-batch evidence.
         self.olsr.refresh(ctx);
-        // 1. Tail our own audit log.
-        let new_lines: Vec<(SimTime, String)> = {
-            let (lines, next) = ctx.log_buffer().read_from(self.cursor);
-            let owned = lines.to_vec();
+        // 1. Tail our own audit log — typed records straight into the
+        // extractor, no text round-trip.
+        let new_records: Vec<(SimTime, LogRecord)> = {
+            let (records, next) = ctx.log_buffer().read_from(self.cursor);
+            let owned = records.to_vec();
             self.cursor = next;
             owned
         };
         let mut events: Vec<DetectionEvent> = Vec::new();
-        for (at, line) in &new_lines {
-            if let Ok(evs) = self.extractor.ingest_line(*at, line) {
-                events.extend(evs);
-            }
+        for (at, record) in &new_records {
+            events.extend(self.extractor.ingest_record(*at, record));
         }
         // 2. Periodic checks (E3, TC silence). The silence allowance keys
         // off the scoped emission schedule: under fisheye flooding an MPR
@@ -331,6 +358,14 @@ impl<H: OlsrHooks> DetectorNode<H> {
         let olsr_cfg = self.olsr.config();
         let silence = olsr_cfg.tc_interval * (4 * u64::from(olsr_cfg.flood_scope.near_stride()));
         events.extend(self.extractor.tick(now, silence));
+
+        // Flight-recorder side history: where this pass sampled the log and
+        // what it extracted, so a saved recording replays with the exact
+        // live batching.
+        if self.cfg.flight_recording {
+            self.analysis_ticks.push((now, self.cursor));
+            self.extracted_events.extend(events.iter().cloned());
+        }
 
         // 3. Feed the signature engine; open investigations on suspicion.
         let me = ctx.id();
@@ -751,7 +786,7 @@ mod tests {
     }
 
     fn hello(d: &mut DetectorNode, from: u16, sym: &[u16], at: SimTime) {
-        d.extractor.ingest(
+        d.extractor.ingest_record(
             at,
             &LogRecord::HelloRx {
                 from: NodeId(from),
@@ -767,9 +802,12 @@ mod tests {
         let mut d = detector();
         // Suspect N4 claims N1 (corroborated) and N8 (only via N4).
         hello(&mut d, 4, &[1, 8], t(1));
-        d.extractor.ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(4), addr: NodeId(8) });
-        d.extractor.ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(4), addr: NodeId(1) });
-        d.extractor.ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(1) });
+        d.extractor
+            .ingest_record(t(1), &LogRecord::TwoHopAdded { via: NodeId(4), addr: NodeId(8) });
+        d.extractor
+            .ingest_record(t(1), &LogRecord::TwoHopAdded { via: NodeId(4), addr: NodeId(1) });
+        d.extractor
+            .ingest_record(t(1), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(1) });
         assert_eq!(d.pick_contested(NodeId(0), NodeId(4)), Some(NodeId(8)));
     }
 
@@ -778,8 +816,10 @@ mod tests {
         let mut d = detector();
         hello(&mut d, 4, &[1, 8], t(1));
         for via in [2u16, 4] {
-            d.extractor.ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(via), addr: NodeId(8) });
-            d.extractor.ingest(t(1), &LogRecord::TwoHopAdded { via: NodeId(via), addr: NodeId(1) });
+            d.extractor
+                .ingest_record(t(1), &LogRecord::TwoHopAdded { via: NodeId(via), addr: NodeId(8) });
+            d.extractor
+                .ingest_record(t(1), &LogRecord::TwoHopAdded { via: NodeId(via), addr: NodeId(1) });
         }
         assert_eq!(d.pick_contested(NodeId(0), NodeId(4)), None);
     }
@@ -790,7 +830,7 @@ mod tests {
         // Suspect claims me (N0) and my direct neighbor N1: neither is a
         // plausible phantom.
         hello(&mut d, 4, &[0, 1], t(1));
-        d.extractor.ingest(t(1), &LogRecord::NeighborAdded { addr: NodeId(1) });
+        d.extractor.ingest_record(t(1), &LogRecord::NeighborAdded { addr: NodeId(1) });
         assert_eq!(d.pick_contested(NodeId(0), NodeId(4)), None);
     }
 

@@ -41,6 +41,7 @@ pub mod csv;
 pub mod detector;
 pub mod experiments;
 pub mod gossip;
+pub mod replay;
 pub mod rounds;
 pub mod scenario;
 
@@ -52,6 +53,7 @@ pub mod prelude {
         fig3_liar_impact_banded, paper_liar_counts, Figure, Series,
     };
     pub use crate::gossip::TrustGossip;
+    pub use crate::replay::{record_scenario, replay_recording, ReplayReport};
     pub use crate::rounds::{
         InitialTrust, RoleKind, RoundConfig, RoundEngine, RoundTrace, WitnessTrace,
     };
@@ -64,5 +66,6 @@ pub mod prelude {
 
 pub use detector::{DetectorConfig, DetectorNode, VerdictRecord};
 pub use experiments::{Figure, Series};
+pub use replay::{record_scenario, replay_recording, ReplayReport};
 pub use rounds::{RoundConfig, RoundEngine, RoundTrace};
 pub use scenario::{ScenarioBuilder, ScenarioReport, Topology};

@@ -192,9 +192,10 @@ impl EventExtractor {
         Self::default()
     }
 
-    /// Feeds one parsed log record; returns any detection events it
-    /// triggers.
-    pub fn ingest(&mut self, at: SimTime, record: &LogRecord) -> Vec<DetectionEvent> {
+    /// Feeds one typed log record; returns any detection events it
+    /// triggers. This is the primary ingest path — the detector tails its
+    /// node's typed audit log directly, with no text round-trip.
+    pub fn ingest_record(&mut self, at: SimTime, record: &LogRecord) -> Vec<DetectionEvent> {
         let mut events = Vec::new();
         // Every address mentioned anywhere enters the known-population set.
         self.absorb_addresses(record);
@@ -285,7 +286,8 @@ impl EventExtractor {
         events
     }
 
-    /// Convenience: parse a raw text line and ingest it.
+    /// Convenience for externally captured text logs: parse a raw line and
+    /// ingest it.
     ///
     /// # Errors
     ///
@@ -296,7 +298,7 @@ impl EventExtractor {
         line: &str,
     ) -> Result<Vec<DetectionEvent>, ParseLogError> {
         let record = trustlink_olsr::logging::parse_line(line)?;
-        Ok(self.ingest(at, &record))
+        Ok(self.ingest_record(at, &record))
     }
 
     /// Periodic sweep for non-event-driven checks (the paper's
@@ -450,13 +452,13 @@ mod tests {
     fn mpr_replacement_detected_per_slot() {
         let silence = trustlink_sim::SimDuration::from_secs(1_000);
         let mut ex = EventExtractor::new();
-        assert!(ex.ingest(t(1), &LogRecord::MprSet { mprs: vec![NodeId(1)] }).is_empty());
+        assert!(ex.ingest_record(t(1), &LogRecord::MprSet { mprs: vec![NodeId(1)] }).is_empty());
         assert!(ex.tick(t(1), silence).is_empty()); // pure addition: no E1
                                                     // Pure addition is not a replacement.
-        ex.ingest(t(2), &LogRecord::MprSet { mprs: vec![NodeId(1), NodeId(2)] });
+        ex.ingest_record(t(2), &LogRecord::MprSet { mprs: vec![NodeId(1), NodeId(2)] });
         assert!(ex.tick(t(2), silence).is_empty());
         // 1 replaced by 3: E1 at the next slot boundary.
-        ex.ingest(t(3), &LogRecord::MprSet { mprs: vec![NodeId(2), NodeId(3)] });
+        ex.ingest_record(t(3), &LogRecord::MprSet { mprs: vec![NodeId(2), NodeId(3)] });
         let events = ex.tick(t(3), silence);
         assert_eq!(events.len(), 1);
         match &events[0] {
@@ -479,10 +481,10 @@ mod tests {
         // happened to materialize (the recompute-mode contract).
         let silence = trustlink_sim::SimDuration::from_secs(1_000);
         let mut ex = EventExtractor::new();
-        ex.ingest(t(1), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
+        ex.ingest_record(t(1), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
         assert!(ex.tick(t(1), silence).is_empty());
-        ex.ingest(t(2), &LogRecord::MprSet { mprs: vec![NodeId(3)] });
-        ex.ingest(t(2), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
+        ex.ingest_record(t(2), &LogRecord::MprSet { mprs: vec![NodeId(3)] });
+        ex.ingest_record(t(2), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
         assert!(ex.tick(t(2), silence).is_empty());
     }
 
@@ -490,10 +492,10 @@ mod tests {
     fn unknown_claimed_neighbor_flagged_once() {
         let mut ex = EventExtractor::new();
         // Teach the extractor about nodes 1, 2 via normal traffic.
-        ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(1) });
-        ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(2) });
+        ex.ingest_record(t(0), &LogRecord::NeighborAdded { addr: NodeId(1) });
+        ex.ingest_record(t(0), &LogRecord::NeighborAdded { addr: NodeId(2) });
         // N1 claims the never-seen N99.
-        let events = ex.ingest(t(1), &hello(1, &[2, 99]));
+        let events = ex.ingest_record(t(1), &hello(1, &[2, 99]));
         assert_eq!(events.len(), 1);
         assert!(matches!(
             events[0],
@@ -504,16 +506,16 @@ mod tests {
             }
         ));
         // Second identical claim: N99 is now "known", no re-flag.
-        assert!(ex.ingest(t(2), &hello(1, &[2, 99])).is_empty());
+        assert!(ex.ingest_record(t(2), &hello(1, &[2, 99])).is_empty());
     }
 
     #[test]
     fn sole_connectivity_on_tick() {
         let mut ex = EventExtractor::new();
-        ex.ingest(t(0), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
-        ex.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(10) });
-        ex.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(11) });
-        ex.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(11) });
+        ex.ingest_record(t(0), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
+        ex.ingest_record(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(10) });
+        ex.ingest_record(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(11) });
+        ex.ingest_record(t(0), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(11) });
         let events = ex.tick(t(5), trustlink_sim::SimDuration::from_secs(100));
         let e3: Vec<_> = events
             .iter()
@@ -531,8 +533,8 @@ mod tests {
     #[test]
     fn tc_silence_flagged() {
         let mut ex = EventExtractor::new();
-        ex.ingest(t(0), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
-        ex.ingest(
+        ex.ingest_record(t(0), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
+        ex.ingest_record(
             t(1),
             &LogRecord::TcRx {
                 originator: NodeId(1),
@@ -563,8 +565,8 @@ mod tests {
     #[test]
     fn tc_advertising_unknown_selector_flagged() {
         let mut ex = EventExtractor::new();
-        ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(1) });
-        let events = ex.ingest(
+        ex.ingest_record(t(0), &LogRecord::NeighborAdded { addr: NodeId(1) });
+        let events = ex.ingest_record(
             t(1),
             &LogRecord::TcRx {
                 originator: NodeId(5),
@@ -583,7 +585,7 @@ mod tests {
             }
         ));
         // Re-advertising the now-known selector does not re-flag.
-        let again = ex.ingest(
+        let again = ex.ingest_record(
             t(2),
             &LogRecord::TcRx {
                 originator: NodeId(5),
@@ -598,10 +600,12 @@ mod tests {
     #[test]
     fn mid_hijacking_known_address_flagged() {
         let mut ex = EventExtractor::new();
-        ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(7) });
+        ex.ingest_record(t(0), &LogRecord::NeighborAdded { addr: NodeId(7) });
         // N5 claims N7 (a known main address) as its alias: hijack.
-        let events =
-            ex.ingest(t(1), &LogRecord::MidRx { originator: NodeId(5), aliases: vec![NodeId(7)] });
+        let events = ex.ingest_record(
+            t(1),
+            &LogRecord::MidRx { originator: NodeId(5), aliases: vec![NodeId(7)] },
+        );
         assert!(matches!(
             events[0],
             DetectionEvent::MprMisbehaving {
@@ -611,15 +615,17 @@ mod tests {
             }
         ));
         // A fresh, unknown alias is legitimate MID usage: no event.
-        let ok =
-            ex.ingest(t(2), &LogRecord::MidRx { originator: NodeId(6), aliases: vec![NodeId(60)] });
+        let ok = ex.ingest_record(
+            t(2),
+            &LogRecord::MidRx { originator: NodeId(6), aliases: vec![NodeId(60)] },
+        );
         assert!(ok.is_empty());
     }
 
     #[test]
     fn decode_error_is_misbehaviour() {
         let mut ex = EventExtractor::new();
-        let events = ex.ingest(t(2), &LogRecord::DecodeError { from: NodeId(4) });
+        let events = ex.ingest_record(t(2), &LogRecord::DecodeError { from: NodeId(4) });
         assert!(matches!(
             events[0],
             DetectionEvent::MprMisbehaving {
@@ -633,19 +639,19 @@ mod tests {
     #[test]
     fn views_track_log_content() {
         let mut ex = EventExtractor::new();
-        ex.ingest(t(0), &hello(1, &[2, 3]));
-        ex.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(3) });
-        ex.ingest(t(0), &LogRecord::NeighborAdded { addr: NodeId(1) });
+        ex.ingest_record(t(0), &hello(1, &[2, 3]));
+        ex.ingest_record(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(3) });
+        ex.ingest_record(t(0), &LogRecord::NeighborAdded { addr: NodeId(1) });
         assert_eq!(ex.claimed_neighbors_of(NodeId(1)), Some(&[NodeId(2), NodeId(3)][..]));
         assert_eq!(ex.vias_for(NodeId(3)), vec![NodeId(1)]);
         assert!(ex.neighbors().contains(&NodeId(1)));
         assert!(ex.known_nodes().contains(&NodeId(3)));
         assert_eq!(ex.claim_changed_at(NodeId(1)), Some(t(0)));
         // Refresh without change keeps the change timestamp.
-        ex.ingest(t(5), &hello(1, &[2, 3]));
+        ex.ingest_record(t(5), &hello(1, &[2, 3]));
         assert_eq!(ex.claim_changed_at(NodeId(1)), Some(t(0)));
         // A real change updates it.
-        ex.ingest(t(6), &hello(1, &[2]));
+        ex.ingest_record(t(6), &hello(1, &[2]));
         assert_eq!(ex.claim_changed_at(NodeId(1)), Some(t(6)));
     }
 

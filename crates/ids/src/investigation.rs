@@ -361,7 +361,7 @@ mod tests {
     fn view_with_claims() -> EventExtractor {
         let mut view = EventExtractor::new();
         // Suspect N3 claims N5, N6, N7, N0(me).
-        view.ingest(
+        view.ingest_record(
             t(0),
             &LogRecord::HelloRx {
                 from: NodeId(3),
@@ -371,9 +371,9 @@ mod tests {
             },
         );
         // 2-hop: N5 and N6 reachable via old MPR N2; N7 only via N3.
-        view.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(5) });
-        view.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(6) });
-        view.ingest(t(0), &LogRecord::TwoHopAdded { via: NodeId(3), addr: NodeId(7) });
+        view.ingest_record(t(0), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(5) });
+        view.ingest_record(t(0), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(6) });
+        view.ingest_record(t(0), &LogRecord::TwoHopAdded { via: NodeId(3), addr: NodeId(7) });
         view
     }
 

@@ -1,676 +1,12 @@
-//! The audit-log record vocabulary.
+//! The audit-log record vocabulary — re-exported from the simulator.
 //!
-//! The reproduced paper's detector is **log-based**: it "takes advantage of
-//! the audit logs that are generated by the routing protocol", parsing text
-//! lines rather than sniffing packets, so that "no change is requested in
-//! the implementation of the node". This module defines:
-//!
-//! * [`LogRecord`] — everything the OLSR node writes about its activity;
-//! * [`LogRecord::to_line`] — the canonical one-line text rendering;
-//! * [`parse_line`] — the inverse, used by the IDS crate.
-//!
-//! The two functions round-trip exactly (property-tested), so the detector
-//! sees precisely what the router chose to record — no more, no less.
+//! The vocabulary moved down into [`trustlink_sim::record`] when the engine's
+//! log buffers became typed: every node's [`trustlink_sim::LogBuffer`] now
+//! stores [`LogRecord`] values directly, so the defining crate must sit below
+//! the routing layer. This module keeps the historical import path
+//! (`trustlink_olsr::logging::{LogRecord, parse_line, ...}`) working.
 
-use std::fmt;
-
-use trustlink_sim::NodeId;
-
-use crate::types::Willingness;
-
-/// Message kinds as they appear in forwarding-related log lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum MessageKind {
-    /// HELLO message.
-    Hello,
-    /// Topology control message.
-    Tc,
-    /// Multiple interface declaration.
-    Mid,
-    /// Host and network association.
-    Hna,
-    /// Unicast data.
-    Data,
-}
-
-impl MessageKind {
-    fn as_str(self) -> &'static str {
-        match self {
-            MessageKind::Hello => "HELLO",
-            MessageKind::Tc => "TC",
-            MessageKind::Mid => "MID",
-            MessageKind::Hna => "HNA",
-            MessageKind::Data => "DATA",
-        }
-    }
-
-    fn from_str_opt(s: &str) -> Option<Self> {
-        Some(match s {
-            "HELLO" => MessageKind::Hello,
-            "TC" => MessageKind::Tc,
-            "MID" => MessageKind::Mid,
-            "HNA" => MessageKind::Hna,
-            "DATA" => MessageKind::Data,
-            _ => return None,
-        })
-    }
-}
-
-impl fmt::Display for MessageKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
-
-/// Why a flooded message was not retransmitted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SuppressReason {
-    /// Already retransmitted (duplicate set).
-    Duplicate,
-    /// The sender did not select us as MPR.
-    NotMprSelector,
-    /// TTL exhausted.
-    TtlExpired,
-    /// The sender is not a known symmetric neighbor.
-    UnknownSender,
-}
-
-impl SuppressReason {
-    fn as_str(self) -> &'static str {
-        match self {
-            SuppressReason::Duplicate => "duplicate",
-            SuppressReason::NotMprSelector => "not-mpr-selector",
-            SuppressReason::TtlExpired => "ttl-expired",
-            SuppressReason::UnknownSender => "unknown-sender",
-        }
-    }
-
-    fn from_str_opt(s: &str) -> Option<Self> {
-        Some(match s {
-            "duplicate" => SuppressReason::Duplicate,
-            "not-mpr-selector" => SuppressReason::NotMprSelector,
-            "ttl-expired" => SuppressReason::TtlExpired,
-            "unknown-sender" => SuppressReason::UnknownSender,
-            _ => return None,
-        })
-    }
-}
-
-impl fmt::Display for SuppressReason {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
-
-/// Every routing-relevant event the OLSR node records.
-///
-/// Field naming follows what the information *is* to the logging node:
-/// e.g. in [`LogRecord::HelloRx`], `sym` is the set of symmetric neighbors
-/// the *sender claimed* — the `NS'_I` of the paper's signatures.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LogRecord {
-    /// A HELLO was received. `sym`/`asym` are the sender's claimed links.
-    HelloRx {
-        /// Transmitting neighbor.
-        from: NodeId,
-        /// Sender's advertised willingness.
-        willingness: Willingness,
-        /// Sender's claimed symmetric neighbors.
-        sym: Vec<NodeId>,
-        /// Sender's claimed heard-only neighbors.
-        asym: Vec<NodeId>,
-    },
-    /// A TC was received (possibly relayed).
-    TcRx {
-        /// TC originator (the MPR advertising its selectors).
-        originator: NodeId,
-        /// The 1-hop neighbor we heard it from.
-        sender: NodeId,
-        /// Advertised neighbor sequence number.
-        ansn: u16,
-        /// Advertised selector set.
-        advertised: Vec<NodeId>,
-    },
-    /// A MID was received.
-    MidRx {
-        /// Originator main address.
-        originator: NodeId,
-        /// Claimed alias interfaces.
-        aliases: Vec<NodeId>,
-    },
-    /// An HNA was received.
-    HnaRx {
-        /// Originator (gateway).
-        originator: NodeId,
-        /// Claimed external networks `(net, prefix)`.
-        networks: Vec<(NodeId, u8)>,
-    },
-    /// Link sensing promoted a link to symmetric.
-    LinkSymmetric {
-        /// The neighbor.
-        neighbor: NodeId,
-    },
-    /// Link sensing saw a (new or demoted) one-way link.
-    LinkAsymmetric {
-        /// The neighbor.
-        neighbor: NodeId,
-    },
-    /// A link expired or was declared lost.
-    LinkLost {
-        /// The neighbor.
-        neighbor: NodeId,
-    },
-    /// A node entered the symmetric 1-hop neighborhood.
-    NeighborAdded {
-        /// The neighbor.
-        addr: NodeId,
-    },
-    /// A node left the symmetric 1-hop neighborhood.
-    NeighborLost {
-        /// The neighbor.
-        addr: NodeId,
-    },
-    /// A 2-hop neighbor became reachable via a 1-hop neighbor.
-    TwoHopAdded {
-        /// The providing 1-hop neighbor.
-        via: NodeId,
-        /// The 2-hop neighbor.
-        addr: NodeId,
-    },
-    /// A 2-hop reachability pair disappeared.
-    TwoHopLost {
-        /// The providing 1-hop neighbor.
-        via: NodeId,
-        /// The 2-hop neighbor.
-        addr: NodeId,
-    },
-    /// The MPR set was recomputed to a new value (full set logged).
-    MprSet {
-        /// The new MPR set, ascending.
-        mprs: Vec<NodeId>,
-    },
-    /// A neighbor started selecting us as its MPR.
-    MprSelectorAdded {
-        /// The selector.
-        addr: NodeId,
-    },
-    /// A neighbor stopped selecting us as its MPR.
-    MprSelectorLost {
-        /// The selector.
-        addr: NodeId,
-    },
-    /// A route appeared.
-    RouteAdded {
-        /// Destination.
-        dest: NodeId,
-        /// Next hop.
-        next_hop: NodeId,
-        /// Hop count.
-        hops: u32,
-    },
-    /// A route's next hop or length changed.
-    RouteChanged {
-        /// Destination.
-        dest: NodeId,
-        /// New next hop.
-        next_hop: NodeId,
-        /// New hop count.
-        hops: u32,
-    },
-    /// A destination became unreachable.
-    RouteLost {
-        /// Destination.
-        dest: NodeId,
-    },
-    /// We transmitted a HELLO advertising these links.
-    HelloTx {
-        /// Advertised symmetric neighbors.
-        sym: Vec<NodeId>,
-        /// Advertised heard-only neighbors.
-        asym: Vec<NodeId>,
-    },
-    /// We originated a TC.
-    TcTx {
-        /// Our current ANSN.
-        ansn: u16,
-        /// Our advertised MPR selectors.
-        advertised: Vec<NodeId>,
-    },
-    /// We retransmitted a flooded message.
-    Forwarded {
-        /// Original creator of the message.
-        originator: NodeId,
-        /// Message kind.
-        kind: MessageKind,
-        /// Originator-scoped sequence number.
-        seq: u16,
-        /// The neighbor we received it from.
-        from: NodeId,
-    },
-    /// We declined to retransmit a flooded message.
-    ForwardSuppressed {
-        /// Original creator of the message.
-        originator: NodeId,
-        /// Message kind.
-        kind: MessageKind,
-        /// Originator-scoped sequence number.
-        seq: u16,
-        /// Why it was suppressed.
-        reason: SuppressReason,
-    },
-    /// Unicast data addressed to us arrived.
-    DataRx {
-        /// Source node.
-        src: NodeId,
-    },
-    /// We originated unicast data.
-    DataTx {
-        /// Destination.
-        dst: NodeId,
-        /// First hop used.
-        next_hop: NodeId,
-    },
-    /// We forwarded unicast data for someone else.
-    DataForwarded {
-        /// Source.
-        src: NodeId,
-        /// Destination.
-        dst: NodeId,
-        /// Next hop used.
-        next_hop: NodeId,
-    },
-    /// We had no route for a unicast data message.
-    DataNoRoute {
-        /// Destination we could not reach.
-        dst: NodeId,
-    },
-    /// A received frame failed to decode (malformed or forged).
-    DecodeError {
-        /// Transmitting neighbor.
-        from: NodeId,
-    },
-}
-
-fn fmt_list(ids: &[NodeId]) -> String {
-    let inner: Vec<String> = ids.iter().map(|n| n.to_string()).collect();
-    format!("[{}]", inner.join(","))
-}
-
-fn fmt_networks(nets: &[(NodeId, u8)]) -> String {
-    let inner: Vec<String> = nets.iter().map(|(n, p)| format!("{n}/{p}")).collect();
-    format!("[{}]", inner.join(","))
-}
-
-impl LogRecord {
-    /// Renders the canonical one-line text form, e.g.
-    /// `HELLO_RX from=N3 will=3 sym=[N1,N2] asym=[]`.
-    pub fn to_line(&self) -> String {
-        match self {
-            LogRecord::HelloRx { from, willingness, sym, asym } => format!(
-                "HELLO_RX from={from} will={willingness} sym={} asym={}",
-                fmt_list(sym),
-                fmt_list(asym)
-            ),
-            LogRecord::TcRx { originator, sender, ansn, advertised } => format!(
-                "TC_RX orig={originator} sender={sender} ansn={ansn} adv={}",
-                fmt_list(advertised)
-            ),
-            LogRecord::MidRx { originator, aliases } => {
-                format!("MID_RX orig={originator} aliases={}", fmt_list(aliases))
-            }
-            LogRecord::HnaRx { originator, networks } => {
-                format!("HNA_RX orig={originator} nets={}", fmt_networks(networks))
-            }
-            LogRecord::LinkSymmetric { neighbor } => format!("LINK_SYM nbr={neighbor}"),
-            LogRecord::LinkAsymmetric { neighbor } => format!("LINK_ASYM nbr={neighbor}"),
-            LogRecord::LinkLost { neighbor } => format!("LINK_LOST nbr={neighbor}"),
-            LogRecord::NeighborAdded { addr } => format!("NBR_ADD addr={addr}"),
-            LogRecord::NeighborLost { addr } => format!("NBR_LOST addr={addr}"),
-            LogRecord::TwoHopAdded { via, addr } => format!("2HOP_ADD via={via} addr={addr}"),
-            LogRecord::TwoHopLost { via, addr } => format!("2HOP_LOST via={via} addr={addr}"),
-            LogRecord::MprSet { mprs } => format!("MPR_SET mprs={}", fmt_list(mprs)),
-            LogRecord::MprSelectorAdded { addr } => format!("MPR_SELECTOR_ADD addr={addr}"),
-            LogRecord::MprSelectorLost { addr } => format!("MPR_SELECTOR_LOST addr={addr}"),
-            LogRecord::RouteAdded { dest, next_hop, hops } => {
-                format!("ROUTE_ADD dest={dest} next={next_hop} hops={hops}")
-            }
-            LogRecord::RouteChanged { dest, next_hop, hops } => {
-                format!("ROUTE_CHG dest={dest} next={next_hop} hops={hops}")
-            }
-            LogRecord::RouteLost { dest } => format!("ROUTE_LOST dest={dest}"),
-            LogRecord::HelloTx { sym, asym } => {
-                format!("HELLO_TX sym={} asym={}", fmt_list(sym), fmt_list(asym))
-            }
-            LogRecord::TcTx { ansn, advertised } => {
-                format!("TC_TX ansn={ansn} adv={}", fmt_list(advertised))
-            }
-            LogRecord::Forwarded { originator, kind, seq, from } => {
-                format!("FWD orig={originator} type={kind} seq={seq} from={from}")
-            }
-            LogRecord::ForwardSuppressed { originator, kind, seq, reason } => {
-                format!("FWD_SUPPRESS orig={originator} type={kind} seq={seq} reason={reason}")
-            }
-            LogRecord::DataRx { src } => format!("DATA_RX src={src}"),
-            LogRecord::DataTx { dst, next_hop } => {
-                format!("DATA_TX dst={dst} next={next_hop}")
-            }
-            LogRecord::DataForwarded { src, dst, next_hop } => {
-                format!("DATA_FWD src={src} dst={dst} next={next_hop}")
-            }
-            LogRecord::DataNoRoute { dst } => format!("DATA_NO_ROUTE dst={dst}"),
-            LogRecord::DecodeError { from } => format!("DECODE_ERR from={from}"),
-        }
-    }
-}
-
-impl fmt::Display for LogRecord {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_line())
-    }
-}
-
-/// Errors from [`parse_line`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ParseLogError {
-    /// The line's leading tag is not a known record type.
-    UnknownTag(String),
-    /// A required `key=value` field is missing.
-    MissingField(&'static str),
-    /// A field value failed to parse.
-    BadValue(&'static str),
-}
-
-impl fmt::Display for ParseLogError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ParseLogError::UnknownTag(t) => write!(f, "unknown log tag `{t}`"),
-            ParseLogError::MissingField(k) => write!(f, "missing field `{k}`"),
-            ParseLogError::BadValue(k) => write!(f, "bad value for field `{k}`"),
-        }
-    }
-}
-
-impl std::error::Error for ParseLogError {}
-
-struct Fields<'a> {
-    pairs: Vec<(&'a str, &'a str)>,
-}
-
-impl<'a> Fields<'a> {
-    fn parse(rest: &'a str) -> Self {
-        let pairs = rest.split_whitespace().filter_map(|tok| tok.split_once('=')).collect();
-        Fields { pairs }
-    }
-
-    fn raw(&self, key: &'static str) -> Result<&'a str, ParseLogError> {
-        self.pairs
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, v)| *v)
-            .ok_or(ParseLogError::MissingField(key))
-    }
-
-    fn node(&self, key: &'static str) -> Result<NodeId, ParseLogError> {
-        parse_node(self.raw(key)?).ok_or(ParseLogError::BadValue(key))
-    }
-
-    fn u16_field(&self, key: &'static str) -> Result<u16, ParseLogError> {
-        self.raw(key)?.parse().map_err(|_| ParseLogError::BadValue(key))
-    }
-
-    fn u32_field(&self, key: &'static str) -> Result<u32, ParseLogError> {
-        self.raw(key)?.parse().map_err(|_| ParseLogError::BadValue(key))
-    }
-
-    fn list(&self, key: &'static str) -> Result<Vec<NodeId>, ParseLogError> {
-        let raw = self.raw(key)?;
-        parse_list(raw).ok_or(ParseLogError::BadValue(key))
-    }
-
-    fn networks(&self, key: &'static str) -> Result<Vec<(NodeId, u8)>, ParseLogError> {
-        let raw = self.raw(key)?;
-        let inner = raw
-            .strip_prefix('[')
-            .and_then(|s| s.strip_suffix(']'))
-            .ok_or(ParseLogError::BadValue(key))?;
-        if inner.is_empty() {
-            return Ok(Vec::new());
-        }
-        inner
-            .split(',')
-            .map(|item| {
-                let (node, prefix) = item.split_once('/')?;
-                Some((parse_node(node)?, prefix.parse().ok()?))
-            })
-            .collect::<Option<Vec<_>>>()
-            .ok_or(ParseLogError::BadValue(key))
-    }
-}
-
-fn parse_node(s: &str) -> Option<NodeId> {
-    s.strip_prefix('N')?.parse().ok().map(NodeId)
-}
-
-fn parse_list(s: &str) -> Option<Vec<NodeId>> {
-    let inner = s.strip_prefix('[')?.strip_suffix(']')?;
-    if inner.is_empty() {
-        return Some(Vec::new());
-    }
-    inner.split(',').map(parse_node).collect()
-}
-
-/// Parses a line produced by [`LogRecord::to_line`].
-///
-/// # Errors
-///
-/// Returns a [`ParseLogError`] when the tag is unknown, a field is missing,
-/// or a value is malformed. The parser is tolerant of extra fields (forward
-/// compatibility) but strict about the ones it needs.
-pub fn parse_line(line: &str) -> Result<LogRecord, ParseLogError> {
-    let line = line.trim();
-    let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
-    let f = Fields::parse(rest);
-    let record = match tag {
-        "HELLO_RX" => LogRecord::HelloRx {
-            from: f.node("from")?,
-            willingness: Willingness::from_wire(
-                f.raw("will")?.parse().map_err(|_| ParseLogError::BadValue("will"))?,
-            ),
-            sym: f.list("sym")?,
-            asym: f.list("asym")?,
-        },
-        "TC_RX" => LogRecord::TcRx {
-            originator: f.node("orig")?,
-            sender: f.node("sender")?,
-            ansn: f.u16_field("ansn")?,
-            advertised: f.list("adv")?,
-        },
-        "MID_RX" => LogRecord::MidRx { originator: f.node("orig")?, aliases: f.list("aliases")? },
-        "HNA_RX" => LogRecord::HnaRx { originator: f.node("orig")?, networks: f.networks("nets")? },
-        "LINK_SYM" => LogRecord::LinkSymmetric { neighbor: f.node("nbr")? },
-        "LINK_ASYM" => LogRecord::LinkAsymmetric { neighbor: f.node("nbr")? },
-        "LINK_LOST" => LogRecord::LinkLost { neighbor: f.node("nbr")? },
-        "NBR_ADD" => LogRecord::NeighborAdded { addr: f.node("addr")? },
-        "NBR_LOST" => LogRecord::NeighborLost { addr: f.node("addr")? },
-        "2HOP_ADD" => LogRecord::TwoHopAdded { via: f.node("via")?, addr: f.node("addr")? },
-        "2HOP_LOST" => LogRecord::TwoHopLost { via: f.node("via")?, addr: f.node("addr")? },
-        "MPR_SET" => LogRecord::MprSet { mprs: f.list("mprs")? },
-        "MPR_SELECTOR_ADD" => LogRecord::MprSelectorAdded { addr: f.node("addr")? },
-        "MPR_SELECTOR_LOST" => LogRecord::MprSelectorLost { addr: f.node("addr")? },
-        "ROUTE_ADD" => LogRecord::RouteAdded {
-            dest: f.node("dest")?,
-            next_hop: f.node("next")?,
-            hops: f.u32_field("hops")?,
-        },
-        "ROUTE_CHG" => LogRecord::RouteChanged {
-            dest: f.node("dest")?,
-            next_hop: f.node("next")?,
-            hops: f.u32_field("hops")?,
-        },
-        "ROUTE_LOST" => LogRecord::RouteLost { dest: f.node("dest")? },
-        "HELLO_TX" => LogRecord::HelloTx { sym: f.list("sym")?, asym: f.list("asym")? },
-        "TC_TX" => LogRecord::TcTx { ansn: f.u16_field("ansn")?, advertised: f.list("adv")? },
-        "FWD" => LogRecord::Forwarded {
-            originator: f.node("orig")?,
-            kind: MessageKind::from_str_opt(f.raw("type")?)
-                .ok_or(ParseLogError::BadValue("type"))?,
-            seq: f.u16_field("seq")?,
-            from: f.node("from")?,
-        },
-        "FWD_SUPPRESS" => LogRecord::ForwardSuppressed {
-            originator: f.node("orig")?,
-            kind: MessageKind::from_str_opt(f.raw("type")?)
-                .ok_or(ParseLogError::BadValue("type"))?,
-            seq: f.u16_field("seq")?,
-            reason: SuppressReason::from_str_opt(f.raw("reason")?)
-                .ok_or(ParseLogError::BadValue("reason"))?,
-        },
-        "DATA_RX" => LogRecord::DataRx { src: f.node("src")? },
-        "DATA_TX" => LogRecord::DataTx { dst: f.node("dst")?, next_hop: f.node("next")? },
-        "DATA_FWD" => LogRecord::DataForwarded {
-            src: f.node("src")?,
-            dst: f.node("dst")?,
-            next_hop: f.node("next")?,
-        },
-        "DATA_NO_ROUTE" => LogRecord::DataNoRoute { dst: f.node("dst")? },
-        "DECODE_ERR" => LogRecord::DecodeError { from: f.node("from")? },
-        other => return Err(ParseLogError::UnknownTag(other.to_string())),
-    };
-    Ok(record)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn all_records() -> Vec<LogRecord> {
-        vec![
-            LogRecord::HelloRx {
-                from: NodeId(3),
-                willingness: Willingness::High,
-                sym: vec![NodeId(1), NodeId(2)],
-                asym: vec![],
-            },
-            LogRecord::TcRx {
-                originator: NodeId(5),
-                sender: NodeId(2),
-                ansn: 17,
-                advertised: vec![NodeId(1), NodeId(4)],
-            },
-            LogRecord::MidRx { originator: NodeId(5), aliases: vec![NodeId(50)] },
-            LogRecord::HnaRx { originator: NodeId(6), networks: vec![(NodeId(100), 24)] },
-            LogRecord::LinkSymmetric { neighbor: NodeId(1) },
-            LogRecord::LinkAsymmetric { neighbor: NodeId(2) },
-            LogRecord::LinkLost { neighbor: NodeId(3) },
-            LogRecord::NeighborAdded { addr: NodeId(4) },
-            LogRecord::NeighborLost { addr: NodeId(5) },
-            LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(10) },
-            LogRecord::TwoHopLost { via: NodeId(1), addr: NodeId(10) },
-            LogRecord::MprSet { mprs: vec![NodeId(2), NodeId(7)] },
-            LogRecord::MprSelectorAdded { addr: NodeId(9) },
-            LogRecord::MprSelectorLost { addr: NodeId(9) },
-            LogRecord::RouteAdded { dest: NodeId(9), next_hop: NodeId(2), hops: 3 },
-            LogRecord::RouteChanged { dest: NodeId(9), next_hop: NodeId(7), hops: 2 },
-            LogRecord::RouteLost { dest: NodeId(9) },
-            LogRecord::HelloTx { sym: vec![NodeId(1)], asym: vec![NodeId(8)] },
-            LogRecord::TcTx { ansn: 4, advertised: vec![NodeId(1)] },
-            LogRecord::Forwarded {
-                originator: NodeId(5),
-                kind: MessageKind::Tc,
-                seq: 12,
-                from: NodeId(2),
-            },
-            LogRecord::ForwardSuppressed {
-                originator: NodeId(5),
-                kind: MessageKind::Mid,
-                seq: 12,
-                reason: SuppressReason::Duplicate,
-            },
-            LogRecord::DataRx { src: NodeId(4) },
-            LogRecord::DataTx { dst: NodeId(6), next_hop: NodeId(2) },
-            LogRecord::DataForwarded { src: NodeId(1), dst: NodeId(6), next_hop: NodeId(3) },
-            LogRecord::DataNoRoute { dst: NodeId(6) },
-            LogRecord::DecodeError { from: NodeId(11) },
-        ]
-    }
-
-    #[test]
-    fn every_variant_roundtrips() {
-        for record in all_records() {
-            let line = record.to_line();
-            let parsed =
-                parse_line(&line).unwrap_or_else(|e| panic!("failed to parse `{line}`: {e}"));
-            assert_eq!(parsed, record, "roundtrip mismatch for `{line}`");
-        }
-    }
-
-    #[test]
-    fn canonical_examples() {
-        assert_eq!(
-            LogRecord::HelloRx {
-                from: NodeId(3),
-                willingness: Willingness::Default,
-                sym: vec![NodeId(1), NodeId(2)],
-                asym: vec![]
-            }
-            .to_line(),
-            "HELLO_RX from=N3 will=3 sym=[N1,N2] asym=[]"
-        );
-        assert_eq!(LogRecord::MprSet { mprs: vec![] }.to_line(), "MPR_SET mprs=[]");
-        assert_eq!(
-            LogRecord::ForwardSuppressed {
-                originator: NodeId(5),
-                kind: MessageKind::Tc,
-                seq: 3,
-                reason: SuppressReason::NotMprSelector
-            }
-            .to_line(),
-            "FWD_SUPPRESS orig=N5 type=TC seq=3 reason=not-mpr-selector"
-        );
-    }
-
-    #[test]
-    fn parse_rejects_unknown_tag() {
-        assert!(matches!(parse_line("WAT x=1"), Err(ParseLogError::UnknownTag(_))));
-    }
-
-    #[test]
-    fn parse_rejects_missing_field() {
-        assert_eq!(parse_line("NBR_ADD"), Err(ParseLogError::MissingField("addr")));
-        assert_eq!(
-            parse_line("ROUTE_ADD dest=N1 hops=2"),
-            Err(ParseLogError::MissingField("next"))
-        );
-    }
-
-    #[test]
-    fn parse_rejects_bad_values() {
-        assert_eq!(parse_line("NBR_ADD addr=42"), Err(ParseLogError::BadValue("addr")));
-        assert_eq!(parse_line("MPR_SET mprs=N1,N2"), Err(ParseLogError::BadValue("mprs")));
-        assert_eq!(
-            parse_line("FWD orig=N1 type=BOGUS seq=1 from=N2"),
-            Err(ParseLogError::BadValue("type"))
-        );
-    }
-
-    #[test]
-    fn parse_tolerates_whitespace_and_extra_fields() {
-        let r = parse_line("  NBR_ADD addr=N7 extra=ignored  ").unwrap();
-        assert_eq!(r, LogRecord::NeighborAdded { addr: NodeId(7) });
-    }
-
-    #[test]
-    fn parse_error_display() {
-        assert_eq!(ParseLogError::UnknownTag("X".into()).to_string(), "unknown log tag `X`");
-        assert_eq!(ParseLogError::MissingField("addr").to_string(), "missing field `addr`");
-        assert_eq!(ParseLogError::BadValue("seq").to_string(), "bad value for field `seq`");
-    }
-
-    #[test]
-    fn networks_roundtrip_empty_and_multi() {
-        for nets in [vec![], vec![(NodeId(1), 8), (NodeId(2), 16)]] {
-            let rec = LogRecord::HnaRx { originator: NodeId(1), networks: nets };
-            assert_eq!(parse_line(&rec.to_line()).unwrap(), rec);
-        }
-    }
-}
+pub use trustlink_sim::record::{
+    from_rlog_line, parse_line, FlightRecord, FlightRecorder, LogRecord, MessageKind,
+    ParseLogError, SuppressReason, VerdictKind,
+};

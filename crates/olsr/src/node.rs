@@ -431,13 +431,10 @@ impl<H: OlsrHooks> OlsrNode<H> {
             hello.willingness = w;
         }
         self.hooks.on_hello_tx(&mut hello, now);
-        ctx.log(
-            LogRecord::HelloTx {
-                sym: hello.symmetric_neighbors(),
-                asym: hello.asymmetric_neighbors(),
-            }
-            .to_line(),
-        );
+        ctx.log(LogRecord::HelloTx {
+            sym: hello.symmetric_neighbors(),
+            asym: hello.asymmetric_neighbors(),
+        });
         let msg = Message {
             vtime: self.config.neighbor_hold_time,
             originator: self.id,
@@ -495,7 +492,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
         }
         let mut tc = TcMessage { ansn: self.ansn, advertised };
         self.hooks.on_tc_tx(&mut tc, now);
-        ctx.log(LogRecord::TcTx { ansn: tc.ansn, advertised: tc.advertised.clone() }.to_line());
+        ctx.log(LogRecord::TcTx { ansn: tc.ansn, advertised: tc.advertised.clone() });
         self.flood.record_originated(ring);
         let msg = Message {
             vtime,
@@ -561,10 +558,10 @@ impl<H: OlsrHooks> OlsrNode<H> {
         self.ensure_fresh(ctx);
         let next = self.next_hop_for(dst, avoid, now);
         let Some(next) = next else {
-            ctx.log(LogRecord::DataNoRoute { dst }.to_line());
+            ctx.log(LogRecord::DataNoRoute { dst });
             return false;
         };
-        ctx.log(LogRecord::DataTx { dst, next_hop: next }.to_line());
+        ctx.log(LogRecord::DataTx { dst, next_hop: next });
         let msg = Message {
             vtime: self.config.neighbor_hold_time,
             originator: self.id,
@@ -606,15 +603,12 @@ impl<H: OlsrHooks> OlsrNode<H> {
         let hold = now + self.config.neighbor_hold_time;
         let claimed_sym = hello.symmetric_neighbors();
         let claimed_asym = hello.asymmetric_neighbors();
-        ctx.log(
-            LogRecord::HelloRx {
-                from: originator,
-                willingness: hello.willingness,
-                sym: claimed_sym.clone(),
-                asym: claimed_asym.clone(),
-            }
-            .to_line(),
-        );
+        ctx.log(LogRecord::HelloRx {
+            from: originator,
+            willingness: hello.willingness,
+            sym: claimed_sym.clone(),
+            asym: claimed_asym.clone(),
+        });
 
         // Link sensing: hearing them refreshes the asym validity; being
         // listed by them (heard in both directions) makes it symmetric.
@@ -647,10 +641,10 @@ impl<H: OlsrHooks> OlsrNode<H> {
             self.flags.nbr = true;
             match after {
                 Some(LinkStatus::Symmetric) => {
-                    ctx.log(LogRecord::LinkSymmetric { neighbor: originator }.to_line())
+                    ctx.log(LogRecord::LinkSymmetric { neighbor: originator })
                 }
                 Some(LinkStatus::Asymmetric) => {
-                    ctx.log(LogRecord::LinkAsymmetric { neighbor: originator }.to_line())
+                    ctx.log(LogRecord::LinkAsymmetric { neighbor: originator })
                 }
                 _ => {}
             }
@@ -672,7 +666,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
             for &th in &claimed_sym {
                 if th != self.id && self.two_hop.upsert(originator, th, hold, now) {
                     self.flags.nbr = true;
-                    ctx.log(LogRecord::TwoHopAdded { via: originator, addr: th }.to_line());
+                    ctx.log(LogRecord::TwoHopAdded { via: originator, addr: th });
                 }
             }
         }
@@ -681,24 +675,21 @@ impl<H: OlsrHooks> OlsrNode<H> {
         // live symmetric link can (re)assert selection.
         if hello.mpr_neighbors().contains(&self.id) && heard_us && !lost_us {
             if self.selectors.upsert(originator, hold, now) {
-                ctx.log(LogRecord::MprSelectorAdded { addr: originator }.to_line());
+                ctx.log(LogRecord::MprSelectorAdded { addr: originator });
             }
         } else if self.selectors.remove(originator, now) {
-            ctx.log(LogRecord::MprSelectorLost { addr: originator }.to_line());
+            ctx.log(LogRecord::MprSelectorLost { addr: originator });
         }
     }
 
     fn process_tc(&mut self, ctx: &mut Context<'_>, msg: &Message, tc: &TcMessage, from: NodeId) {
         let now = ctx.now();
-        ctx.log(
-            LogRecord::TcRx {
-                originator: msg.originator,
-                sender: from,
-                ansn: tc.ansn,
-                advertised: tc.advertised.clone(),
-            }
-            .to_line(),
-        );
+        ctx.log(LogRecord::TcRx {
+            originator: msg.originator,
+            sender: from,
+            ansn: tc.ansn,
+            advertised: tc.advertised.clone(),
+        });
         let until = now + msg.vtime;
         if self.topology.apply_tc(msg.originator, tc.ansn, &tc.advertised, until, now) {
             self.flags.topo = true;
@@ -715,15 +706,12 @@ impl<H: OlsrHooks> OlsrNode<H> {
         };
         let dup_until = now + self.config.duplicate_hold_time;
         let suppress = |this: &mut Self, ctx: &mut Context<'_>, reason: SuppressReason| {
-            ctx.log(
-                LogRecord::ForwardSuppressed {
-                    originator: msg.originator,
-                    kind,
-                    seq: msg.seq.0,
-                    reason,
-                }
-                .to_line(),
-            );
+            ctx.log(LogRecord::ForwardSuppressed {
+                originator: msg.originator,
+                kind,
+                seq: msg.seq.0,
+                reason,
+            });
             this.duplicates.record(msg.originator, msg.seq, false, dup_until, now);
         };
 
@@ -761,10 +749,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
         if kind == MessageKind::Tc {
             self.flood.forwarded += 1;
         }
-        ctx.log(
-            LogRecord::Forwarded { originator: msg.originator, kind, seq: msg.seq.0, from }
-                .to_line(),
-        );
+        ctx.log(LogRecord::Forwarded { originator: msg.originator, kind, seq: msg.seq.0, from });
         self.transmit(ctx, vec![fwd]);
     }
 
@@ -777,7 +762,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
     ) {
         let now = ctx.now();
         if data.dst == self.id {
-            ctx.log(LogRecord::DataRx { src: data.src }.to_line());
+            ctx.log(LogRecord::DataRx { src: data.src });
             self.inbox.push(ReceivedData { src: data.src, at: now, payload: data.payload.clone() });
             return;
         }
@@ -791,12 +776,10 @@ impl<H: OlsrHooks> OlsrNode<H> {
         self.ensure_fresh(ctx);
         let next = self.next_hop_for(data.dst, data.avoid, now);
         let Some(next) = next else {
-            ctx.log(LogRecord::DataNoRoute { dst: data.dst }.to_line());
+            ctx.log(LogRecord::DataNoRoute { dst: data.dst });
             return;
         };
-        ctx.log(
-            LogRecord::DataForwarded { src: data.src, dst: data.dst, next_hop: next }.to_line(),
-        );
+        ctx.log(LogRecord::DataForwarded { src: data.src, dst: data.dst, next_hop: next });
         let mut fwd = msg.clone();
         fwd.ttl -= 1;
         fwd.hop_count += 1;
@@ -809,7 +792,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
             Ok(p) => p,
             Err(_) => {
                 self.decode_arena = arena;
-                ctx.log(LogRecord::DecodeError { from }.to_line());
+                ctx.log(LogRecord::DecodeError { from });
                 return;
             }
         };
@@ -834,13 +817,10 @@ impl<H: OlsrHooks> OlsrNode<H> {
                 }
                 MessageBody::Mid(m) => {
                     if !already_processed {
-                        ctx.log(
-                            LogRecord::MidRx {
-                                originator: msg.originator,
-                                aliases: m.aliases.clone(),
-                            }
-                            .to_line(),
-                        );
+                        ctx.log(LogRecord::MidRx {
+                            originator: msg.originator,
+                            aliases: m.aliases.clone(),
+                        });
                         let until = now + msg.vtime;
                         for &alias in &m.aliases {
                             self.ifaces.upsert(alias, msg.originator, until);
@@ -850,13 +830,10 @@ impl<H: OlsrHooks> OlsrNode<H> {
                 }
                 MessageBody::Hna(h) => {
                     if !already_processed {
-                        ctx.log(
-                            LogRecord::HnaRx {
-                                originator: msg.originator,
-                                networks: h.networks.clone(),
-                            }
-                            .to_line(),
-                        );
+                        ctx.log(LogRecord::HnaRx {
+                            originator: msg.originator,
+                            networks: h.networks.clone(),
+                        });
                     }
                     self.forward_flooded(ctx, msg, from);
                 }
@@ -909,17 +886,17 @@ impl<H: OlsrHooks> OlsrNode<H> {
         // set (an expired tuple was already non-symmetric); two-hop and
         // topology removals invalidate MPR/route inputs.
         for dead in self.links.purge(now) {
-            ctx.log(LogRecord::LinkLost { neighbor: dead }.to_line());
+            ctx.log(LogRecord::LinkLost { neighbor: dead });
         }
         let dead_pairs = self.two_hop.purge(now);
         if !dead_pairs.is_empty() {
             nbr_changed = true;
             for (via, addr) in dead_pairs {
-                ctx.log(LogRecord::TwoHopLost { via, addr }.to_line());
+                ctx.log(LogRecord::TwoHopLost { via, addr });
             }
         }
         for addr in self.selectors.purge(now) {
-            ctx.log(LogRecord::MprSelectorLost { addr }.to_line());
+            ctx.log(LogRecord::MprSelectorLost { addr });
         }
         if !self.topology.purge(now).is_empty() {
             topo_changed = true;
@@ -937,16 +914,16 @@ impl<H: OlsrHooks> OlsrNode<H> {
             nbr_changed = true;
             for n in &sym {
                 if !prev.contains(n) {
-                    ctx.log(LogRecord::NeighborAdded { addr: *n }.to_line());
+                    ctx.log(LogRecord::NeighborAdded { addr: *n });
                 }
             }
             for n in &prev {
                 if !sym.contains(n) {
-                    ctx.log(LogRecord::NeighborLost { addr: *n }.to_line());
+                    ctx.log(LogRecord::NeighborLost { addr: *n });
                     self.neighbors.remove(*n);
                     self.two_hop.remove_via(*n, now);
                     if self.selectors.remove(*n, now) {
-                        ctx.log(LogRecord::MprSelectorLost { addr: *n }.to_line());
+                        ctx.log(LogRecord::MprSelectorLost { addr: *n });
                     }
                 }
             }
@@ -981,7 +958,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
                 &mut self.mpr_scratch,
             );
             if self.mpr_scratch != self.mprs {
-                ctx.log(LogRecord::MprSet { mprs: self.mpr_scratch.clone() }.to_line());
+                ctx.log(LogRecord::MprSet { mprs: self.mpr_scratch.clone() });
                 std::mem::swap(&mut self.mprs, &mut self.mpr_scratch);
             }
         }
@@ -1002,19 +979,17 @@ impl<H: OlsrHooks> OlsrNode<H> {
             );
             let diff = self.routes.diff(&self.routes_scratch);
             for r in &diff.added {
-                ctx.log(
-                    LogRecord::RouteAdded { dest: r.dest, next_hop: r.next_hop, hops: r.hops }
-                        .to_line(),
-                );
+                ctx.log(LogRecord::RouteAdded { dest: r.dest, next_hop: r.next_hop, hops: r.hops });
             }
             for r in &diff.changed {
-                ctx.log(
-                    LogRecord::RouteChanged { dest: r.dest, next_hop: r.next_hop, hops: r.hops }
-                        .to_line(),
-                );
+                ctx.log(LogRecord::RouteChanged {
+                    dest: r.dest,
+                    next_hop: r.next_hop,
+                    hops: r.hops,
+                });
             }
             for d in &diff.removed {
-                ctx.log(LogRecord::RouteLost { dest: *d }.to_line());
+                ctx.log(LogRecord::RouteLost { dest: *d });
             }
             std::mem::swap(&mut self.routes, &mut self.routes_scratch);
         }
@@ -1230,8 +1205,9 @@ mod tests {
             if line.starts_with("MPR_SELECTOR_ADD") {
                 saw_mpr_selector = true;
             }
-            // Every line must be parseable (the IDS depends on it).
-            crate::logging::parse_line(line)
+            // Every rendered line must be parseable (external log consumers
+            // depend on it).
+            crate::logging::parse_line(&line)
                 .unwrap_or_else(|e| panic!("unparseable log line `{line}`: {e}"));
         }
         assert!(saw_hello_rx && saw_nbr_add);

@@ -40,50 +40,10 @@ impl fmt::Display for SequenceNumber {
     }
 }
 
-/// A node's declared willingness to carry traffic for others (RFC 3626
-/// §18.8). MPR selection prefers higher willingness; `Never` is never
-/// selected, `Always` is always selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[repr(u8)]
-pub enum Willingness {
-    /// WILL_NEVER (0): must never be selected as MPR.
-    Never = 0,
-    /// WILL_LOW (1).
-    Low = 1,
-    /// WILL_DEFAULT (3).
-    #[default]
-    Default = 3,
-    /// WILL_HIGH (6).
-    High = 6,
-    /// WILL_ALWAYS (7): must always be selected as MPR.
-    Always = 7,
-}
-
-impl Willingness {
-    /// Decodes a wire byte, mapping unknown values to the nearest defined
-    /// level (RFC treats willingness as a 0..=7 scalar; we keep the named
-    /// levels and round intermediate values down).
-    pub fn from_wire(b: u8) -> Willingness {
-        match b {
-            0 => Willingness::Never,
-            1 | 2 => Willingness::Low,
-            3..=5 => Willingness::Default,
-            6 => Willingness::High,
-            _ => Willingness::Always,
-        }
-    }
-
-    /// The wire encoding.
-    pub fn to_wire(self) -> u8 {
-        self as u8
-    }
-}
-
-impl fmt::Display for Willingness {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.to_wire())
-    }
-}
+// Willingness moved down into the simulator's record vocabulary (HELLO
+// reception records carry it); re-exported here to keep the historical
+// `trustlink_olsr::types::Willingness` path working.
+pub use trustlink_sim::record::Willingness;
 
 /// How much a node advertises in its TCs (RFC 3626 §15.1 TC_REDUNDANCY).
 ///

@@ -16,6 +16,7 @@ use crate::grid::SpatialGrid;
 use crate::mobility::{Arena, MobilityModel, MobilityState, Position};
 use crate::node::{Application, Command, Context, LogBuffer, NodeId, TimerToken};
 use crate::radio::{DeliveryOutcome, RadioConfig};
+use crate::record::{FlightRecord, FlightRecorder};
 use crate::stats::TrafficStats;
 use crate::time::{SimDuration, SimTime};
 
@@ -288,6 +289,19 @@ impl Simulator {
     /// Panics if `id` is unknown.
     pub fn log(&self, id: NodeId) -> &LogBuffer {
         &self.slots[id.index()].log
+    }
+
+    /// Captures every node's audit log into one [`FlightRecorder`]: the
+    /// whole run as a single attributed record stream in canonical
+    /// `(time, node)` order, ready for rlog serialization or replay.
+    pub fn flight_recorder(&self) -> FlightRecorder {
+        let mut records = Vec::new();
+        for id in self.node_ids().collect::<Vec<_>>() {
+            for (at, record) in self.log(id).entries() {
+                records.push(FlightRecord { at: *at, node: id, record: record.clone() });
+            }
+        }
+        FlightRecorder::from_records(records)
     }
 
     /// Current position of `id`.
@@ -621,6 +635,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::LogRecord;
 
     /// Counts receptions; broadcasts `n` times on start with 10 ms spacing.
     struct Chatter {
@@ -642,7 +657,7 @@ mod tests {
         }
         fn on_timer(&mut self, ctx: &mut Context<'_>, t: TimerToken) {
             ctx.broadcast(Bytes::from(format!("msg-{}", t.0)));
-            ctx.log(format!("sent {}", t.0));
+            ctx.log(LogRecord::TcTx { ansn: t.0 as u16, advertised: vec![] });
         }
         fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
             self.received.push((ctx.now(), from, payload));

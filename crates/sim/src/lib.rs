@@ -15,9 +15,12 @@
 //!    collision window. The paper's evaluation depends on *who hears whom*
 //!    and *which answers get lost*, which this models faithfully.
 //! 3. **Log-based observability** — every node owns an append-only
-//!    [`node::LogBuffer`]. Protocols write human-readable audit lines; the
-//!    intrusion detector of the paper consumes *only* these lines, never the
-//!    protocol internals.
+//!    [`node::LogBuffer`] of typed [`record::LogRecord`] values. Protocols
+//!    log records, not strings; the intrusion detector of the paper consumes
+//!    *only* this audit log, never the protocol internals, and rendering to
+//!    text happens at the edges ([`node::LogBuffer::render_lines`]). A whole
+//!    run can be captured into a [`record::FlightRecorder`] and replayed
+//!    from its rlog serialization.
 //!
 //! ## Quick example
 //!
@@ -35,7 +38,7 @@
 //!         ctx.broadcast(Bytes::from_static(b"hello"));
 //!     }
 //!     fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, _p: Bytes) {
-//!         ctx.log(format!("heard from {from}"));
+//!         ctx.log(LogRecord::DataRx { src: from });
 //!     }
 //! }
 //!
@@ -45,7 +48,7 @@
 //! let a = sim.add_node(Box::new(Echo), Position::new(0.0, 0.0));
 //! let b = sim.add_node(Box::new(Echo), Position::new(50.0, 0.0));
 //! sim.run_for(SimDuration::from_secs(1));
-//! assert!(sim.log(b).lines().any(|l| l.contains("heard from")));
+//! assert!(sim.log(b).lines().any(|l| l.starts_with("DATA_RX")));
 //! # let _ = a;
 //! ```
 
@@ -57,6 +60,7 @@ pub mod grid;
 pub mod mobility;
 pub mod node;
 pub mod radio;
+pub mod record;
 pub mod stats;
 pub mod time;
 pub mod topologies;
@@ -67,6 +71,10 @@ pub mod prelude {
     pub use crate::mobility::{Arena, MobilityModel, Position};
     pub use crate::node::{Application, Context, LogBuffer, NodeId, TimerToken};
     pub use crate::radio::{Propagation, RadioConfig};
+    pub use crate::record::{
+        FlightRecord, FlightRecorder, LogRecord, MessageKind, SuppressReason, VerdictKind,
+        Willingness,
+    };
     pub use crate::stats::{FloodStats, TrafficStats};
     pub use crate::time::{SimDuration, SimTime};
 }
@@ -76,5 +84,9 @@ pub use grid::SpatialGrid;
 pub use mobility::{Arena, MobilityModel, Position};
 pub use node::{Application, Context, LogBuffer, NodeId, TimerToken};
 pub use radio::{Propagation, RadioConfig};
+pub use record::{
+    parse_line, FlightRecord, FlightRecorder, LogRecord, MessageKind, ParseLogError,
+    SuppressReason, VerdictKind, Willingness,
+};
 pub use stats::{FloodStats, TrafficStats};
 pub use time::{SimDuration, SimTime};

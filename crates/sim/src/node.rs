@@ -12,6 +12,7 @@ use std::fmt;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 
+use crate::record::LogRecord;
 use crate::time::{SimDuration, SimTime};
 
 /// The identity of a node: its OLSR *main address* in the reproduced system.
@@ -143,10 +144,11 @@ impl<'a> Context<'a> {
         self.commands.push(Command::SetTimer { delay, token });
     }
 
-    /// Appends a line to this node's audit log, stamped with the current
-    /// simulation time.
-    pub fn log(&mut self, line: impl Into<String>) {
-        self.log.push(self.now, line.into());
+    /// Appends a typed record to this node's audit log, stamped with the
+    /// current simulation time. Rendering to text happens at the edges
+    /// ([`LogBuffer::render_lines`]), never on this hot path.
+    pub fn log(&mut self, record: LogRecord) {
+        self.log.push(self.now, record);
     }
 
     /// Read access to this node's own audit log — how a log-based intrusion
@@ -161,36 +163,38 @@ impl<'a> Context<'a> {
     }
 }
 
-/// An append-only, time-stamped log owned by one node.
+/// An append-only, time-stamped log of typed records owned by one node.
 ///
 /// The trust-enabled detector of the paper is *log based*: it reads these
-/// lines — and nothing else — to find signs of intrusion. The buffer
+/// records — and nothing else — to find signs of intrusion. The buffer
 /// supports cursor-style incremental reads so a detector can periodically
 /// consume "what happened since I last looked".
 ///
 /// ```
 /// use trustlink_sim::node::LogBuffer;
+/// use trustlink_sim::record::LogRecord;
 /// use trustlink_sim::time::SimTime;
+/// use trustlink_sim::NodeId;
 ///
 /// let mut log = LogBuffer::default();
-/// log.push(SimTime::from_secs(1), "HELLO_RX from=N2".to_string());
-/// let (lines, cursor) = log.read_from(0);
-/// assert_eq!(lines.len(), 1);
+/// log.push(SimTime::from_secs(1), LogRecord::DataRx { src: NodeId(2) });
+/// let (records, cursor) = log.read_from(0);
+/// assert_eq!(records.len(), 1);
 /// let (rest, _) = log.read_from(cursor);
 /// assert!(rest.is_empty());
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LogBuffer {
-    entries: Vec<(SimTime, String)>,
+    entries: Vec<(SimTime, LogRecord)>,
 }
 
 impl LogBuffer {
-    /// Appends one line stamped `at`.
-    pub fn push(&mut self, at: SimTime, line: String) {
-        self.entries.push((at, line));
+    /// Appends one record stamped `at`.
+    pub fn push(&mut self, at: SimTime, record: LogRecord) {
+        self.entries.push((at, record));
     }
 
-    /// Number of lines logged so far.
+    /// Number of records logged so far.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -200,20 +204,28 @@ impl LogBuffer {
         self.entries.is_empty()
     }
 
-    /// All `(timestamp, line)` entries, oldest first.
-    pub fn entries(&self) -> &[(SimTime, String)] {
+    /// All `(timestamp, record)` entries, oldest first.
+    pub fn entries(&self) -> &[(SimTime, LogRecord)] {
         &self.entries
     }
 
-    /// Iterator over the raw text lines, oldest first.
-    pub fn lines(&self) -> impl Iterator<Item = &str> {
-        self.entries.iter().map(|(_, l)| l.as_str())
+    /// Iterator over the canonical text rendering of each record, oldest
+    /// first. Rendering happens here, at the edge — not when logging.
+    pub fn lines(&self) -> impl Iterator<Item = String> + '_ {
+        self.entries.iter().map(|(_, r)| r.to_line())
+    }
+
+    /// Renders the whole buffer to `(timestamp, line)` pairs — byte-for-byte
+    /// the strings the buffer stored before records were typed. This is the
+    /// adapter external consumers of the old text logs use.
+    pub fn render_lines(&self) -> Vec<(SimTime, String)> {
+        self.entries.iter().map(|(at, r)| (*at, r.to_line())).collect()
     }
 
     /// Returns the entries appended at or after position `cursor`, plus the
     /// next cursor value. Feeding the returned cursor back yields only new
     /// entries — the idiom for periodic log analysis.
-    pub fn read_from(&self, cursor: usize) -> (&[(SimTime, String)], usize) {
+    pub fn read_from(&self, cursor: usize) -> (&[(SimTime, LogRecord)], usize) {
         let start = cursor.min(self.entries.len());
         (&self.entries[start..], self.entries.len())
     }
@@ -242,7 +254,7 @@ mod tests {
         ctx.broadcast(Bytes::from_static(b"a"));
         ctx.send(NodeId(1), Bytes::from_static(b"b"));
         ctx.set_timer(SimDuration::from_secs(1), TimerToken(9));
-        ctx.log("something happened");
+        ctx.log(LogRecord::DataRx { src: NodeId(2) });
         ctx.halt();
         assert_eq!(commands.len(), 4);
         assert!(matches!(commands[0], Command::Broadcast { .. }));
@@ -257,25 +269,28 @@ mod tests {
     fn log_buffer_cursor_semantics() {
         let mut log = LogBuffer::default();
         assert!(log.is_empty());
-        log.push(SimTime::ZERO, "one".into());
-        log.push(SimTime::from_secs(1), "two".into());
+        log.push(SimTime::ZERO, LogRecord::NeighborAdded { addr: NodeId(1) });
+        log.push(SimTime::from_secs(1), LogRecord::NeighborAdded { addr: NodeId(2) });
         let (all, c) = log.read_from(0);
         assert_eq!(all.len(), 2);
-        log.push(SimTime::from_secs(2), "three".into());
+        log.push(SimTime::from_secs(2), LogRecord::NeighborLost { addr: NodeId(1) });
         let (new, c2) = log.read_from(c);
         assert_eq!(new.len(), 1);
-        assert_eq!(new[0].1, "three");
+        assert_eq!(new[0].1, LogRecord::NeighborLost { addr: NodeId(1) });
         // A cursor beyond the end is clamped rather than panicking.
         let (none, _) = log.read_from(c2 + 100);
         assert!(none.is_empty());
     }
 
     #[test]
-    fn log_lines_iterates_text() {
+    fn log_lines_renders_records_at_the_edge() {
         let mut log = LogBuffer::default();
-        log.push(SimTime::ZERO, "alpha".into());
-        log.push(SimTime::ZERO, "beta".into());
-        let collected: Vec<&str> = log.lines().collect();
-        assert_eq!(collected, vec!["alpha", "beta"]);
+        log.push(SimTime::ZERO, LogRecord::NeighborAdded { addr: NodeId(4) });
+        log.push(SimTime::ZERO, LogRecord::RouteLost { dest: NodeId(9) });
+        let collected: Vec<String> = log.lines().collect();
+        assert_eq!(collected, vec!["NBR_ADD addr=N4", "ROUTE_LOST dest=N9"]);
+        let rendered = log.render_lines();
+        assert_eq!(rendered.len(), 2);
+        assert_eq!(rendered[0], (SimTime::ZERO, "NBR_ADD addr=N4".to_string()));
     }
 }

@@ -3,25 +3,18 @@
 //! Design goal #1 of `trustlink-sim` (see `crates/sim/src/lib.rs`): a
 //! simulation is a *pure function of its seed and configuration*. These
 //! tests pin that down end-to-end — two runs with the same seed must
-//! produce byte-identical event logs and identical traffic statistics,
-//! and a different seed must actually change the run.
+//! produce identical typed event streams (the primary diff, record by
+//! record) and byte-identical rendered logs plus traffic statistics (the
+//! string secondary), and a different seed must actually change the run.
+//!
+//! The suite also pins the `render_lines()` adapter itself: FNV-1a digests
+//! of the rendered fingerprints were captured *before* the log buffers
+//! became typed, so byte-for-byte compatibility with the historical text
+//! logs is a hard assertion, not a convention.
 
 use trustlink_attacks::prelude::*;
 use trustlink_core::prelude::*;
-
-/// Render every node's full audit log plus the traffic statistics into one
-/// byte string, so replay equality is literal byte equality.
-fn fingerprint(sim: &Simulator) -> Vec<u8> {
-    let mut out = String::new();
-    for id in sim.node_ids().collect::<Vec<_>>() {
-        out.push_str(&format!("=== node {id}\n"));
-        for (at, line) in sim.log(id).entries() {
-            out.push_str(&format!("{at:?} {line}\n"));
-        }
-    }
-    out.push_str(&format!("=== stats\n{:?}\n", sim.stats()));
-    out.into_bytes()
-}
+use trustlink_tests::{assert_recordings_identical, fnv1a, text_fingerprint};
 
 /// A full packet-level scenario — OLSR + detectors + one attacker + one
 /// liar — exercising the radio (loss, jitter), timers and every RNG
@@ -43,8 +36,15 @@ fn spoofing_scenario(seed: u64) -> ScenarioReport {
 fn same_seed_same_event_log_and_stats() {
     let a = spoofing_scenario(7);
     let b = spoofing_scenario(7);
-    let fa = fingerprint(&a.sim);
-    let fb = fingerprint(&b.sim);
+    // Primary: the typed event streams are identical record by record.
+    assert_recordings_identical(
+        "same-seed replay",
+        &a.sim.flight_recorder(),
+        &b.sim.flight_recorder(),
+    );
+    // Secondary: the rendered text logs are byte-identical too.
+    let fa = text_fingerprint(&a.sim);
+    let fb = text_fingerprint(&b.sim);
     assert!(!fa.is_empty());
     assert_eq!(fa, fb, "same seed must replay byte-identically");
     assert_eq!(a.verdicts, b.verdicts, "verdict streams must replay identically");
@@ -55,10 +55,30 @@ fn different_seed_different_run() {
     let a = spoofing_scenario(7);
     let b = spoofing_scenario(8);
     assert_ne!(
-        fingerprint(&a.sim),
-        fingerprint(&b.sim),
+        a.sim.flight_recorder(),
+        b.sim.flight_recorder(),
+        "changing the seed should change the typed event stream"
+    );
+    assert_ne!(
+        text_fingerprint(&a.sim),
+        text_fingerprint(&b.sim),
         "changing the seed should change radio losses, jitter and timing"
     );
+}
+
+#[test]
+fn render_lines_matches_pre_typed_golden_digests() {
+    // These digests were captured from the exact same scenarios while the
+    // log buffers still stored formatted strings. `render_lines()` must
+    // reproduce those logs byte for byte.
+    for (seed, golden) in [(7u64, 0x228f_0fd4_3f1d_475c_u64), (8, 0x96a4_26c3_5134_7a1c)] {
+        let report = spoofing_scenario(seed);
+        assert_eq!(
+            fnv1a(&text_fingerprint(&report.sim)),
+            golden,
+            "rendered log digest for seed {seed} no longer matches the pre-typed capture"
+        );
+    }
 }
 
 #[test]

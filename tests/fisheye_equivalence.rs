@@ -27,20 +27,7 @@ use trustlink_core::prelude::*;
 use trustlink_core::DetectorConfig;
 use trustlink_ids::investigation::InvestigationConfig;
 use trustlink_olsr::{FisheyeRings, FloodScope, OlsrConfig, OlsrNode};
-
-/// Renders every node's full audit log plus the traffic statistics into
-/// one byte string, so byte-level equivalence is literal equality.
-fn fingerprint(sim: &Simulator) -> Vec<u8> {
-    let mut out = String::new();
-    for id in sim.node_ids().collect::<Vec<_>>() {
-        out.push_str(&format!("=== node {id}\n"));
-        for (at, line) in sim.log(id).entries() {
-            out.push_str(&format!("{at:?} {line}\n"));
-        }
-    }
-    out.push_str(&format!("=== stats\n{:?}\n", sim.stats()));
-    out.into_bytes()
-}
+use trustlink_tests::{assert_recordings_identical, text_fingerprint};
 
 /// The single unbounded every-interval ring: schedules like classic.
 fn anchor_scope() -> FloodScope {
@@ -93,9 +80,14 @@ fn single_unbounded_ring_is_byte_identical_on_olsr_mesh() {
         };
         let classic = run(FloodScope::Classic);
         let anchored = run(anchor_scope());
+        assert_recordings_identical(
+            "single-ring anchor (mesh)",
+            &classic.flight_recorder(),
+            &anchored.flight_recorder(),
+        );
         assert_eq!(
-            fingerprint(&classic),
-            fingerprint(&anchored),
+            text_fingerprint(&classic),
+            text_fingerprint(&anchored),
             "single-ring fisheye diverged from classic for seed {seed}"
         );
     }
@@ -121,9 +113,14 @@ fn single_unbounded_ring_detection_scenario_is_byte_identical() {
         assert_eq!(classic.verdicts, anchored.verdicts, "verdict streams diverged, seed {seed}");
         assert_eq!(classic.total_sent(), anchored.total_sent());
         assert_eq!(classic.total_bytes(), anchored.total_bytes());
+        assert_recordings_identical(
+            "single-ring anchor (detection)",
+            &classic.sim.flight_recorder(),
+            &anchored.sim.flight_recorder(),
+        );
         assert_eq!(
-            fingerprint(&classic.sim),
-            fingerprint(&anchored.sim),
+            text_fingerprint(&classic.sim),
+            text_fingerprint(&anchored.sim),
             "single-ring fisheye detection run diverged from classic for seed {seed}"
         );
     }

@@ -7,27 +7,16 @@
 //! broadcast; candidates are visited in ascending node index and the radio
 //! draws randomness only for in-range candidates, so the RNG stream cannot
 //! diverge. These tests pin that contract across stationary and mobile
-//! OLSR networks, full detector scenarios and node churn.
+//! OLSR networks, full detector scenarios and node churn. The primary diff
+//! is the typed event stream (record by record, first divergence named);
+//! the rendered-text fingerprint rides along as the string secondary.
 
 use trustlink_core::prelude::*;
 use trustlink_olsr::{OlsrConfig, OlsrNode};
+use trustlink_tests::{assert_recordings_identical, fnv1a, text_fingerprint};
 
-/// Renders every node's full audit log plus the traffic statistics into
-/// one byte string, so equivalence is literal byte equality.
-fn fingerprint(sim: &Simulator) -> Vec<u8> {
-    let mut out = String::new();
-    for id in sim.node_ids().collect::<Vec<_>>() {
-        out.push_str(&format!("=== node {id}\n"));
-        for (at, line) in sim.log(id).entries() {
-            out.push_str(&format!("{at:?} {line}\n"));
-        }
-    }
-    out.push_str(&format!("=== stats\n{:?}\n", sim.stats()));
-    out.into_bytes()
-}
-
-/// Builds, scripts and fingerprints one simulator per scan mode and
-/// asserts byte equality.
+/// Builds, scripts and compares one simulator per scan mode: typed event
+/// streams first, rendered text fingerprints second.
 fn assert_modes_identical(
     label: &str,
     seed: u64,
@@ -39,9 +28,10 @@ fn assert_modes_identical(
     };
     let grid = run(ScanMode::Grid);
     let linear = run(ScanMode::Linear);
+    assert_recordings_identical(label, &grid.flight_recorder(), &linear.flight_recorder());
     assert_eq!(
-        fingerprint(&grid),
-        fingerprint(&linear),
+        text_fingerprint(&grid),
+        text_fingerprint(&linear),
         "{label}: grid and linear scans diverged for seed {seed}"
     );
 }
@@ -163,13 +153,38 @@ fn full_detection_scenario_is_byte_identical() {
         };
         let grid = run(ScanMode::Grid);
         let linear = run(ScanMode::Linear);
+        assert_recordings_identical(
+            "detection scenario",
+            &grid.sim.flight_recorder(),
+            &linear.sim.flight_recorder(),
+        );
         assert_eq!(
-            fingerprint(&grid.sim),
-            fingerprint(&linear.sim),
+            text_fingerprint(&grid.sim),
+            text_fingerprint(&linear.sim),
             "detection scenario diverged for seed {seed}"
         );
         assert_eq!(grid.verdicts, linear.verdicts, "verdict streams diverged for seed {seed}");
     }
+}
+
+#[test]
+fn stationary_mesh_matches_pre_typed_golden_digest() {
+    // Captured from this exact 36-node mesh run while the log buffers
+    // still stored formatted strings: the rendered fingerprint must stay
+    // byte-for-byte what the pre-typed logs produced.
+    let mut sim = SimulatorBuilder::new(1)
+        .arena(Arena::new(700.0, 700.0))
+        .radio(RadioConfig::unit_disk(160.0).with_loss(0.1))
+        .build();
+    for p in trustlink_sim::topologies::grid(36, 6, 110.0) {
+        sim.add_node(olsr_boxed(), p);
+    }
+    sim.run_for(SimDuration::from_secs(8));
+    assert_eq!(
+        fnv1a(&text_fingerprint(&sim)),
+        0xa8ae_275a_a425_6586,
+        "rendered mesh log digest no longer matches the pre-typed capture"
+    );
 }
 
 #[test]

@@ -6,3 +6,59 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use trustlink_sim::record::FlightRecorder;
+use trustlink_sim::Simulator;
+
+/// FNV-1a 64 over a byte string — the suites' compact digest for pinning
+/// rendered-log fingerprints against golden values.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders every node's full audit log (via the byte-stable
+/// [`trustlink_sim::LogBuffer::render_lines`] adapter) plus the traffic
+/// statistics into one byte string — the string-diff fingerprint shared by
+/// the equivalence suites, byte-identical to what the pre-typed text logs
+/// produced.
+pub fn text_fingerprint(sim: &Simulator) -> Vec<u8> {
+    let mut out = String::new();
+    for id in sim.node_ids().collect::<Vec<_>>() {
+        out.push_str(&format!("=== node {id}\n"));
+        for (at, line) in sim.log(id).render_lines() {
+            out.push_str(&format!("{at:?} {line}\n"));
+        }
+    }
+    out.push_str(&format!("=== stats\n{:?}\n", sim.stats()));
+    out.into_bytes()
+}
+
+/// Asserts two typed recordings are identical, reporting the *first*
+/// diverging record instead of dumping both streams.
+pub fn assert_recordings_identical(label: &str, a: &FlightRecorder, b: &FlightRecorder) {
+    if a == b {
+        return;
+    }
+    let (ra, rb) = (a.records(), b.records());
+    for (i, (x, y)) in ra.iter().zip(rb.iter()).enumerate() {
+        assert_eq!(
+            x,
+            y,
+            "{label}: typed event streams first diverge at record {i} \
+             (lengths {} vs {})",
+            ra.len(),
+            rb.len()
+        );
+    }
+    panic!(
+        "{label}: one typed event stream is a strict prefix of the other \
+         ({} vs {} records)",
+        ra.len(),
+        rb.len()
+    );
+}

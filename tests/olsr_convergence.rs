@@ -162,7 +162,7 @@ fn every_log_line_from_every_node_parses() {
     let mut total = 0;
     for id in sim.node_ids().collect::<Vec<_>>() {
         for line in sim.log(id).lines() {
-            parse_line(line).unwrap_or_else(|e| panic!("{id}: unparseable `{line}`: {e}"));
+            parse_line(&line).unwrap_or_else(|e| panic!("{id}: unparseable `{line}`: {e}"));
             total += 1;
         }
     }

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use trustlink_olsr::logging::{parse_line, LogRecord, MessageKind, SuppressReason};
+use trustlink_olsr::logging::{
+    from_rlog_line, parse_line, LogRecord, MessageKind, SuppressReason, VerdictKind,
+};
 use trustlink_olsr::message::{
     HelloMessage, LinkCode, LinkGroup, LinkType, Message, MessageBody, NeighborType, Packet,
     TcMessage,
@@ -49,6 +51,28 @@ fn suppress_reason() -> impl Strategy<Value = SuppressReason> {
     ]
 }
 
+fn networks() -> impl Strategy<Value = Vec<(NodeId, u8)>> {
+    proptest::collection::vec((node_id(), 0u8..33), 0..5)
+}
+
+fn verdict_kind() -> impl Strategy<Value = VerdictKind> {
+    prop_oneof![
+        Just(VerdictKind::WellBehaving),
+        Just(VerdictKind::Intruder),
+        Just(VerdictKind::Unrecognized),
+    ]
+}
+
+/// Finite, never-NaN `f64`s whose `{:?}` rendering round-trips exactly
+/// (shortest-roundtrip formatting guarantees that for *any* finite value;
+/// the rational construction just keeps the magnitudes varied).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (any::<i32>(), 1u32..10_000).prop_map(|(n, d)| f64::from(n) / f64::from(d))
+}
+
+/// Every [`LogRecord`] variant — all 28 arms, with possibly-empty lists
+/// and sparse sets — so the round-trip properties cover the whole
+/// vocabulary, detector-plane records included.
 fn log_record() -> impl Strategy<Value = LogRecord> {
     prop_oneof![
         (node_id(), willingness(), node_list(), node_list()).prop_map(
@@ -64,13 +88,27 @@ fn log_record() -> impl Strategy<Value = LogRecord> {
         ),
         (node_id(), node_list())
             .prop_map(|(originator, aliases)| LogRecord::MidRx { originator, aliases }),
+        (node_id(), networks())
+            .prop_map(|(originator, networks)| LogRecord::HnaRx { originator, networks }),
         node_id().prop_map(|neighbor| LogRecord::LinkSymmetric { neighbor }),
+        node_id().prop_map(|neighbor| LogRecord::LinkAsymmetric { neighbor }),
+        node_id().prop_map(|neighbor| LogRecord::LinkLost { neighbor }),
         node_id().prop_map(|addr| LogRecord::NeighborAdded { addr }),
         node_id().prop_map(|addr| LogRecord::NeighborLost { addr }),
         (node_id(), node_id()).prop_map(|(via, addr)| LogRecord::TwoHopAdded { via, addr }),
+        (node_id(), node_id()).prop_map(|(via, addr)| LogRecord::TwoHopLost { via, addr }),
         node_list().prop_map(|mprs| LogRecord::MprSet { mprs }),
+        node_id().prop_map(|addr| LogRecord::MprSelectorAdded { addr }),
+        node_id().prop_map(|addr| LogRecord::MprSelectorLost { addr }),
         (node_id(), node_id(), any::<u32>())
             .prop_map(|(dest, next_hop, hops)| { LogRecord::RouteAdded { dest, next_hop, hops } }),
+        (node_id(), node_id(), any::<u32>()).prop_map(|(dest, next_hop, hops)| {
+            LogRecord::RouteChanged { dest, next_hop, hops }
+        }),
+        node_id().prop_map(|dest| LogRecord::RouteLost { dest }),
+        (node_list(), node_list()).prop_map(|(sym, asym)| LogRecord::HelloTx { sym, asym }),
+        (any::<u16>(), node_list())
+            .prop_map(|(ansn, advertised)| LogRecord::TcTx { ansn, advertised }),
         (node_id(), message_kind(), any::<u16>(), node_id()).prop_map(
             |(originator, kind, seq, from)| LogRecord::Forwarded { originator, kind, seq, from }
         ),
@@ -82,7 +120,17 @@ fn log_record() -> impl Strategy<Value = LogRecord> {
                 reason
             }
         ),
+        node_id().prop_map(|src| LogRecord::DataRx { src }),
+        (node_id(), node_id()).prop_map(|(dst, next_hop)| LogRecord::DataTx { dst, next_hop }),
+        (node_id(), node_id(), node_id())
+            .prop_map(|(src, dst, next_hop)| { LogRecord::DataForwarded { src, dst, next_hop } }),
         node_id().prop_map(|dst| LogRecord::DataNoRoute { dst }),
+        node_id().prop_map(|from| LogRecord::DecodeError { from }),
+        Just(LogRecord::AnalysisTick),
+        (node_id(), verdict_kind(), any::<u64>(), finite_f64(), finite_f64(), 0u32..64, 0u32..64)
+            .prop_map(|(suspect, verdict, case, detect, margin, witnesses, answered)| {
+                LogRecord::Verdict { case, suspect, verdict, detect, margin, witnesses, answered }
+            }),
     ]
 }
 
@@ -138,12 +186,27 @@ proptest! {
     }
 
     #[test]
+    fn rlog_line_roundtrip(
+        record in log_record(),
+        at_micros in any::<u64>(),
+        node in node_id(),
+    ) {
+        let at = SimTime::from_micros(at_micros);
+        let line = record.to_rlog(at, node);
+        let (parsed_at, parsed_node, parsed) = from_rlog_line(&line)
+            .unwrap_or_else(|e| panic!("unparseable rlog `{line}`: {e}"));
+        prop_assert_eq!(parsed_at, at);
+        prop_assert_eq!(parsed_node, node);
+        prop_assert_eq!(parsed, record);
+    }
+
+    #[test]
     fn extractor_never_panics_on_valid_records(
         records in proptest::collection::vec(log_record(), 0..64),
     ) {
         let mut extractor = trustlink_ids::EventExtractor::new();
         for (i, r) in records.iter().enumerate() {
-            let _ = extractor.ingest(SimTime::from_secs(i as u64), r);
+            let _ = extractor.ingest_record(SimTime::from_secs(i as u64), r);
         }
         let _ = extractor.tick(SimTime::from_secs(1000), SimDuration::from_secs(10));
     }

@@ -31,6 +31,7 @@
 
 use trustlink_core::prelude::*;
 use trustlink_olsr::{OlsrConfig, OlsrNode, RecomputeMode};
+use trustlink_tests::assert_recordings_identical;
 
 /// Log-line prefixes the recompute sweep emits: the one class whose
 /// *timing* may legitimately differ between the modes.
@@ -50,15 +51,46 @@ fn is_flush_timed(line: &str) -> bool {
     FLUSH_TIMED_PREFIXES.iter().any(|p| line.starts_with(p))
 }
 
+/// Typed counterpart of [`is_flush_timed`]: the event variants the
+/// recompute sweep emits.
+fn is_flush_timed_record(record: &LogRecord) -> bool {
+    matches!(
+        record,
+        LogRecord::LinkLost { .. }
+            | LogRecord::NeighborAdded { .. }
+            | LogRecord::NeighborLost { .. }
+            | LogRecord::TwoHopLost { .. }
+            | LogRecord::MprSelectorLost { .. }
+            | LogRecord::MprSet { .. }
+            | LogRecord::RouteAdded { .. }
+            | LogRecord::RouteChanged { .. }
+            | LogRecord::RouteLost { .. }
+    )
+}
+
+/// The merged typed event stream restricted to reception/emission-timed
+/// records: the mode-identical portion of the contract, diffed record by
+/// record as the primary check.
+fn decision_recorder(sim: &Simulator) -> FlightRecorder {
+    FlightRecorder::from_records(
+        sim.flight_recorder()
+            .records()
+            .iter()
+            .filter(|r| !is_flush_timed_record(&r.record))
+            .cloned()
+            .collect(),
+    )
+}
+
 /// Every node's audit log restricted to the reception/emission-timed
 /// lines (timestamps included), plus the full traffic statistics: the
-/// byte-identical portion of the contract.
+/// byte-identical string secondary.
 fn decision_fingerprint(sim: &Simulator) -> String {
     let mut out = String::new();
     for id in sim.node_ids().collect::<Vec<_>>() {
         out.push_str(&format!("=== node {id}\n"));
-        for (at, line) in sim.log(id).entries() {
-            if !is_flush_timed(line) {
+        for (at, line) in sim.log(id).render_lines() {
+            if !is_flush_timed(&line) {
                 out.push_str(&format!("{at:?} {line}\n"));
             }
         }
@@ -109,6 +141,7 @@ fn assert_modes_equivalent(
             );
         }
     }
+    assert_recordings_identical(label, &decision_recorder(&eager), &decision_recorder(&incr));
     assert_eq!(
         decision_fingerprint(&eager),
         decision_fingerprint(&incr),
@@ -282,6 +315,11 @@ fn full_detection_scenario_verdicts_are_identical() {
         assert_eq!(eager.false_positives().len(), incr.false_positives().len());
         assert_eq!(eager.total_sent(), incr.total_sent(), "frame counts diverged, seed {seed}");
         assert_eq!(eager.total_bytes(), incr.total_bytes(), "byte counts diverged, seed {seed}");
+        assert_recordings_identical(
+            "detection decisions",
+            &decision_recorder(&eager.sim),
+            &decision_recorder(&incr.sim),
+        );
         assert_eq!(
             decision_fingerprint(&eager.sim),
             decision_fingerprint(&incr.sim),
@@ -300,39 +338,53 @@ fn incremental_differs_only_in_flush_timed_lines() {
     let mut incr = build(51, olsr_cfg(RecomputeMode::Incremental));
     eager.run_for(SimDuration::from_secs(8));
     incr.run_for(SimDuration::from_secs(8));
+    // The typed and string flush-timed classifiers must agree on every
+    // record either mode produced — they fence off the same class.
+    for sim in [&eager, &incr] {
+        for r in sim.flight_recorder().records() {
+            assert_eq!(
+                is_flush_timed_record(&r.record),
+                is_flush_timed(&r.record.to_line()),
+                "classifier mismatch on `{}`",
+                r.record.to_line()
+            );
+        }
+    }
     for id in eager.node_ids().collect::<Vec<_>>() {
-        let e_lines: Vec<&str> = eager.log(id).lines().collect();
-        let i_lines: Vec<&str> = incr.log(id).lines().collect();
+        let mut e_sorted: Vec<String> = eager.log(id).lines().collect();
+        let mut i_sorted: Vec<String> = incr.log(id).lines().collect();
         // The multiset of lines may differ (coalescing can skip transient
         // MPR/route states entirely); every *differing* line must be
         // flush-timed. Compare via sorted difference.
-        let mut e_sorted = e_lines.clone();
-        let mut i_sorted = i_lines.clone();
         e_sorted.sort_unstable();
         i_sorted.sort_unstable();
-        let mut e_it = e_sorted.iter().peekable();
-        let mut i_it = i_sorted.iter().peekable();
-        while e_it.peek().is_some() || i_it.peek().is_some() {
-            match (e_it.peek(), i_it.peek()) {
-                (Some(&&e), Some(&&i)) if e == i => {
-                    e_it.next();
-                    i_it.next();
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < e_sorted.len() || y < i_sorted.len() {
+            match (e_sorted.get(x), i_sorted.get(y)) {
+                (Some(e), Some(i)) if e == i => {
+                    x += 1;
+                    y += 1;
                 }
-                (Some(&&e), Some(&&i)) => {
-                    let odd = if e < i { e_it.next() } else { i_it.next() };
-                    let odd = odd.expect("peeked");
+                (Some(e), Some(i)) => {
+                    let odd = if e < i {
+                        x += 1;
+                        e
+                    } else {
+                        y += 1;
+                        i
+                    };
                     assert!(
                         is_flush_timed(odd),
                         "{id}: non-recompute line differs between modes: `{odd}`"
                     );
                 }
-                (Some(&&e), None) => {
+                (Some(e), None) => {
                     assert!(is_flush_timed(e), "{id}: extra eager line `{e}`");
-                    e_it.next();
+                    x += 1;
                 }
-                (None, Some(&&i)) => {
+                (None, Some(i)) => {
                     assert!(is_flush_timed(i), "{id}: extra incremental line `{i}`");
-                    i_it.next();
+                    y += 1;
                 }
                 (None, None) => unreachable!(),
             }
