@@ -32,12 +32,14 @@ use trustlink_olsr::types::OlsrConfig;
 use trustlink_sim::record::LogRecord;
 use trustlink_sim::{Application, Context, NodeId, SimDuration, SimTime, TimerToken};
 use trustlink_trust::aggregate::{
-    answered_samples, detection_value, unweighted_detection_value, weighted_evidence_samples,
+    answered_samples, detection_value, stability_weighted_detection_value,
+    stability_weighted_evidence_samples, unweighted_detection_value, weighted_evidence_samples,
     Answer,
 };
 use trustlink_trust::confidence::margin_of_error;
 use trustlink_trust::decision::{DecisionRule, Verdict};
 use trustlink_trust::propagation::{multipath, Recommendation};
+use trustlink_trust::stability::{stability_weight, StabilityParams};
 use trustlink_trust::store::TrustStore;
 use trustlink_trust::update::TrustUpdate;
 use trustlink_trust::value::{EvidenceKind, GravityCatalogue, TrustValue};
@@ -86,6 +88,23 @@ pub struct DetectorConfig {
     /// Ablation: when `false`, formula (8) is replaced by an unweighted
     /// average (the "no trust system" baseline).
     pub trust_weighting: bool,
+    /// When `true`, every piece of evidence is additionally scaled by the
+    /// *stability* of the link it was sourced over — the symmetric-link age
+    /// and flap history the extractor reads from the typed audit log.
+    /// Young or flapping links dilute their evidence toward zero (like
+    /// partial non-answers), so mobility churn degrades detection
+    /// gracefully instead of convicting honest nodes whose links dissolved
+    /// mid-advertisement. Mature stable links weigh exactly `1.0`: a
+    /// flap-free run is bit-identical with the knob on or off (pinned by
+    /// `tests/stability_equivalence.rs`), which is why the mobile suites
+    /// can enable it while the stationary golden digests stay untouched.
+    /// Off by default, like the other behaviour-changing knob
+    /// (`FloodScope::Fisheye`); only meaningful while `trust_weighting` is
+    /// on — the unweighted ablation baseline ignores it.
+    pub stability_weighting: bool,
+    /// Knobs of the stability weight (maturity age, flap memory, down-link
+    /// cap); see [`StabilityParams`].
+    pub stability: StabilityParams,
     /// Grace period after start-up during which no investigation is opened
     /// and no "never heard of it" denial is issued: the routing protocol
     /// needs time to converge before absence of knowledge means anything.
@@ -125,6 +144,8 @@ impl Default for DetectorConfig {
             testimony_threshold: 0.05,
             relaying_evidence: true,
             trust_weighting: true,
+            stability_weighting: false,
+            stability: StabilityParams::default(),
             warmup: SimDuration::from_secs(15),
             trust_slot_interval: SimDuration::from_secs(10),
             gossip_interval: None,
@@ -457,6 +478,34 @@ impl<H: OlsrHooks> DetectorNode<H> {
         now.saturating_since(self.started_at) >= self.cfg.warmup
     }
 
+    /// The stability weight of the evidence channel toward `peer` as of
+    /// `now`, from the extractor's symmetric-link history.
+    fn stability_of(&self, peer: NodeId, now: SimTime) -> f64 {
+        let ls = self.extractor.link_stability(peer);
+        stability_weight(&self.cfg.stability, ls.age_secs(now), ls.secs_since_flap(now))
+    }
+
+    /// Whether this node's own adjacency to `peer` flapped within the
+    /// configured flap memory. Only meaningful with stability weighting on;
+    /// always `false` otherwise so the legacy answer path is untouched.
+    fn recently_flapped(&self, peer: NodeId, now: SimTime) -> bool {
+        self.cfg.stability_weighting
+            && self
+                .extractor
+                .link_stability(peer)
+                .secs_since_flap(now)
+                .is_some_and(|s| s < self.cfg.stability.flap_memory_secs)
+    }
+
+    /// Whether this node logged the 2-hop pair `addr`-via-`via` as lost
+    /// within the flap memory. Gated like [`Self::recently_flapped`].
+    fn recently_lost_two_hop(&self, via: NodeId, addr: NodeId, now: SimTime) -> bool {
+        self.cfg.stability_weighting
+            && self.extractor.last_two_hop_loss(via, addr).is_some_and(|at| {
+                now.saturating_since(at).as_secs_f64() < self.cfg.stability.flap_memory_secs
+            })
+    }
+
     fn maybe_open_case(&mut self, ctx: &mut Context<'_>, suspect: NodeId, hint: Option<NodeId>) {
         if !self.warmed_up(ctx.now()) {
             return; // the routing view is still converging
@@ -495,7 +544,7 @@ impl<H: OlsrHooks> DetectorNode<H> {
         }
         *rounds += 1;
         self.next_case += 1;
-        let case = Investigation::open(
+        let mut case = Investigation::open(
             self.next_case,
             suspect,
             contested,
@@ -503,6 +552,14 @@ impl<H: OlsrHooks> DetectorNode<H> {
             ctx.now(),
             self.cfg.investigation.timeout,
         );
+        if self.cfg.stability_weighting {
+            // Snapshot how stable each witness link looks *now*: churn
+            // false positives are triggered by a link dissolving, and the
+            // instability is most visible at trigger time.
+            let snapshot =
+                witnesses.iter().map(|&w| self.stability_of(w, ctx.now())).collect::<Vec<_>>();
+            case = case.with_witness_stability(snapshot);
+        }
         let req = InvestigationMessage::VerifyLinkRequest { case: case.case, suspect, contested };
         for &w in &witnesses {
             // Route around the suspect, per Algorithm 1.
@@ -540,13 +597,41 @@ impl<H: OlsrHooks> DetectorNode<H> {
             }
             v
         };
+        // Stability-weighted pool: each witness's evidence is scaled by the
+        // *least* stable view of its link — the case-open snapshot or the
+        // current one. A link that flapped right before the trigger, or
+        // that dissolved while the case ran, counts for less either way.
+        let stability_pool = |this: &Self| -> Vec<(TrustValue, f64, Answer)> {
+            let mut v: Vec<(TrustValue, f64, Answer)> = pairs
+                .iter()
+                .map(|&(w, a)| {
+                    let s = case.witness_stability(w).min(this.stability_of(w, now));
+                    (this.trust.trust_of(&w), s, a)
+                })
+                .collect();
+            if let Some(a) = self_evidence {
+                // First-hand observation of the contested link is only as
+                // fresh as our links to the two nodes it connects.
+                let s = this.stability_of(suspect, now).min(this.stability_of(case.contested, now));
+                v.push((self_weight, s, a));
+            }
+            v
+        };
         let detect = if self.cfg.trust_weighting {
-            detection_value(weighted_pool(self))
+            if self.cfg.stability_weighting {
+                stability_weighted_detection_value(stability_pool(self))
+            } else {
+                detection_value(weighted_pool(self))
+            }
         } else {
             unweighted_detection_value(pairs.iter().map(|&(_, a)| a).chain(self_evidence))
         };
         let samples: Vec<f64> = if self.cfg.trust_weighting {
-            weighted_evidence_samples(weighted_pool(self))
+            if self.cfg.stability_weighting {
+                stability_weighted_evidence_samples(stability_pool(self))
+            } else {
+                weighted_evidence_samples(weighted_pool(self))
+            }
         } else {
             answered_samples(pairs.iter().map(|&(_, a)| a).chain(self_evidence))
         };
@@ -695,15 +780,33 @@ impl<H: OlsrHooks> DetectorNode<H> {
     ///   ever mentioned the contested node — E5's non-existent neighbor);
     /// * `None` — I know the contested node exists but cannot see the link:
     ///   abstain rather than guess.
+    ///
+    /// With stability weighting on, a *denial* from either direct-knowledge
+    /// branch additionally requires the denied link not to have been seen
+    /// alive within the flap memory: a link the witness watched dissolve
+    /// moments ago is indistinguishable from benign churn, so it abstains
+    /// rather than feeding rule (10) a truthful-but-misleading `Deny`. A
+    /// phantom link was never seen alive, so spoof denials stay crisp.
     fn verify_link(&self, suspect: NodeId, contested: NodeId, now: SimTime) -> Option<bool> {
         let me = self.olsr.id();
         if contested == me {
-            return Some(self.olsr.symmetric_neighbors(now).contains(&suspect));
+            let holds = self.olsr.symmetric_neighbors(now).contains(&suspect);
+            if !holds && self.recently_flapped(suspect, now) {
+                return None; // I just lost that link myself: churn, not spoofing
+            }
+            return Some(holds);
         }
         if self.olsr.symmetric_neighbors(now).contains(&contested) {
             // I hear the contested node's own HELLOs: does *it* claim the
             // suspect as a symmetric neighbor?
-            return Some(self.olsr.two_hop_set().reachable_via(contested, now).contains(&suspect));
+            let claims = self.olsr.two_hop_set().reachable_via(contested, now).contains(&suspect);
+            if !claims
+                && (self.recently_lost_two_hop(contested, suspect, now)
+                    || self.recently_flapped(contested, now))
+            {
+                return None; // I saw that link (or my view of it) die moments ago
+            }
+            return Some(claims);
         }
         // Corroboration through anyone other than the suspect?
         let via_other =

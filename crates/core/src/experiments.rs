@@ -13,6 +13,7 @@
 //! | [`ablations`] | §V discussion | what breaks without each mechanism |
 
 use trustlink_trust::confidence::margin_of_error;
+use trustlink_trust::Verdict;
 
 use crate::rounds::{RoleKind, RoundConfig, RoundEngine, RoundTrace};
 
@@ -221,6 +222,87 @@ pub fn fig3_liar_impact_banded(
         x_label: "investigation round".to_string(),
         y_label: "Detect(A,I)".to_string(),
         series,
+    }
+}
+
+/// **Liar-coalition sweep** — how large must a colluding coalition grow
+/// before it defeats detection? Every coalition size `0..=max_coalition`
+/// is run over all `seeds` (fig3's banding idiom applied to the *outcome*
+/// rather than the trajectory); x is the coalition size. Four series:
+///
+/// * `conviction rate` — fraction of seeds whose run reaches an
+///   `Intruder` verdict at any round;
+/// * `mean rounds to conviction` — first convicting round averaged over
+///   seeds, never-convicting seeds counted at the `rounds` horizon;
+/// * `final Detect (mean)` / `(min)` / `(max)` — the last round's
+///   `Detect(A, I)` banded over seeds.
+pub fn liar_coalition_sweep(
+    base: RoundConfig,
+    max_coalition: usize,
+    rounds: u32,
+    seeds: &[u64],
+) -> Figure {
+    assert!(!seeds.is_empty(), "coalition sweep needs at least one seed");
+    assert!(
+        max_coalition <= base.n_nodes.saturating_sub(2),
+        "coalition of {max_coalition} liars cannot fit among {} witnesses",
+        base.n_nodes.saturating_sub(2)
+    );
+    let cfgs: Vec<RoundConfig> = (0..=max_coalition)
+        .flat_map(|n_liars| seeds.iter().map(move |&seed| (n_liars, seed)).collect::<Vec<_>>())
+        .map(|(n_liars, seed)| RoundConfig { n_liars, seed, ..base.clone() })
+        .collect();
+    let traces = run_rounds_parallel(cfgs, rounds);
+    let sizes = max_coalition + 1;
+    let mut rate = Vec::with_capacity(sizes);
+    let mut latency = Vec::with_capacity(sizes);
+    let (mut mean, mut min, mut max) =
+        (Vec::with_capacity(sizes), Vec::with_capacity(sizes), Vec::with_capacity(sizes));
+    for group in traces.chunks(seeds.len()) {
+        let mut convicted = 0usize;
+        let mut rounds_sum = 0.0;
+        let (mut m, mut lo, mut hi) = (0.0, f64::INFINITY, f64::NEG_INFINITY);
+        for trace in group {
+            match trace.verdicts.iter().position(|v| *v == Verdict::Intruder) {
+                Some(r) => {
+                    convicted += 1;
+                    rounds_sum += (r + 1) as f64;
+                }
+                None => rounds_sum += f64::from(rounds),
+            }
+            let last = trace.detect.last().copied().unwrap_or(0.0);
+            m += last / seeds.len() as f64;
+            lo = lo.min(last);
+            hi = hi.max(last);
+        }
+        rate.push(convicted as f64 / seeds.len() as f64);
+        latency.push(rounds_sum / seeds.len() as f64);
+        mean.push(m);
+        min.push(lo);
+        max.push(hi);
+    }
+    // x = coalition size (0-based, so shift from `from_rounds`' 1-based x).
+    let sized = |label: &str, ys: &[f64]| {
+        let mut s = Series::from_rounds(label, ys);
+        for (x, _) in &mut s.points {
+            *x -= 1.0;
+        }
+        s
+    };
+    Figure {
+        title: format!(
+            "Liar-coalition sweep: outcome vs coalition size (bands over {} seeds)",
+            seeds.len()
+        ),
+        x_label: "coalition size (colluding liars)".to_string(),
+        y_label: "outcome".to_string(),
+        series: vec![
+            sized("conviction rate", &rate),
+            sized("mean rounds to conviction", &latency),
+            sized("final Detect (mean)", &mean),
+            sized("final Detect (min)", &min),
+            sized("final Detect (max)", &max),
+        ],
     }
 }
 
@@ -470,6 +552,44 @@ mod tests {
         let single = fig3_liar_impact(RoundConfig { seed: 1, ..cfg.clone() }, &[2], 15);
         let banded = fig3_liar_impact_banded(RoundConfig { seed: 9, ..cfg }, &[2], 15, &[1]);
         assert_eq!(single.series[0].points, banded.series[0].points, "mean of one seed == run");
+    }
+
+    #[test]
+    fn coalition_sweep_maps_outcome_to_coalition_size() {
+        let cfg = RoundConfig {
+            initial_trust: InitialTrust::Fixed(0.5),
+            answer_probability: 1.0,
+            ..base()
+        };
+        let fig = liar_coalition_sweep(cfg, 6, 25, &[1, 2, 3]);
+        let rate = fig.series_named("conviction rate").expect("rate series");
+        let latency = fig.series_named("mean rounds to conviction").expect("latency series");
+        let mean = fig.series_named("final Detect (mean)").expect("mean series");
+        let min = fig.series_named("final Detect (min)").expect("min series");
+        let max = fig.series_named("final Detect (max)").expect("max series");
+        for s in [rate, latency, mean, min, max] {
+            assert_eq!(s.points.len(), 7, "{}: one point per coalition size 0..=6", s.label);
+            assert_eq!(s.points[0].0, 0.0, "{}: x starts at coalition size 0", s.label);
+        }
+        // Paper claim: detection holds through ≈43% liars (6 of 14
+        // witnesses) — every coalition size in the sweep still convicts on
+        // every seed, just later.
+        for (x, r) in &rate.points {
+            assert_eq!(*r, 1.0, "coalition of {x} escaped conviction on some seed");
+        }
+        for i in 0..7 {
+            let (m, lo, hi) = (mean.points[i].1, min.points[i].1, max.points[i].1);
+            assert!(lo <= m + 1e-12 && m <= hi + 1e-12, "size {i}: {lo} {m} {hi}");
+            assert!(m < -0.7, "size {i}: final Detect {m} should sit near -0.8");
+        }
+        // A larger coalition never speeds conviction up: rounds-to-convict
+        // is non-decreasing in coalition size for the liar-free prefix.
+        assert!(
+            latency.points[0].1 <= latency.points[6].1,
+            "a 6-liar coalition convicted faster than no liars at all: {} vs {}",
+            latency.points[0].1,
+            latency.points[6].1
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::detector::{DetectorConfig, DetectorNode, VerdictRecord, TIMER_ANALYSIS};
     pub use crate::experiments::{
         ablations, confidence_sweep, fig1_trustworthiness, fig2_forgetting, fig3_liar_impact,
-        fig3_liar_impact_banded, paper_liar_counts, Figure, Series,
+        fig3_liar_impact_banded, liar_coalition_sweep, paper_liar_counts, Figure, Series,
     };
     pub use crate::gossip::TrustGossip;
     pub use crate::replay::{record_scenario, replay_recording, ReplayReport};

@@ -15,8 +15,8 @@ use trustlink_attacks::liar::LiarPolicy;
 use trustlink_attacks::spoof::LinkSpoofing;
 use trustlink_olsr::types::{FloodScope, OlsrConfig, RecomputeMode};
 use trustlink_sim::{
-    topologies, Arena, MobilityModel, NodeId, Position, RadioConfig, ScanMode, SimDuration,
-    Simulator, SimulatorBuilder,
+    topologies, Arena, ChannelModel, MobilityModel, NodeId, Position, RadioConfig, ScanMode,
+    SimDuration, Simulator, SimulatorBuilder,
 };
 
 use crate::detector::{DetectorConfig, DetectorNode, VerdictRecord};
@@ -76,6 +76,7 @@ pub struct ScenarioBuilder {
     arena_override: Option<(f64, f64)>,
     mobility: MobilityModel,
     mobility_tick: Option<SimDuration>,
+    channel: Option<ChannelModel>,
 }
 
 impl ScenarioBuilder {
@@ -95,6 +96,7 @@ impl ScenarioBuilder {
             arena_override: None,
             mobility: MobilityModel::Stationary,
             mobility_tick: None,
+            channel: None,
         }
     }
 
@@ -169,6 +171,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a per-link [`ChannelModel`] (edge latency/loss overrides,
+    /// Gilbert–Elliott burst fading). Off by default; channel-model-off
+    /// runs stay byte-identical to builds without the channel layer.
+    pub fn channel(mut self, model: ChannelModel) -> Self {
+        self.channel = Some(model);
+        self
+    }
+
     /// Applies a mobility model to every node (topologies give the initial
     /// placement). Opens the churn scenarios the paper leaves out: the
     /// mobile detection-latency suite rides on this knob.
@@ -239,6 +249,9 @@ impl ScenarioBuilder {
             .expected_nodes(self.n);
         if let Some(tick) = self.mobility_tick {
             builder = builder.mobility_tick(tick);
+        }
+        if let Some(model) = self.channel.clone() {
+            builder = builder.channel_model(model);
         }
         let mut sim = builder.build();
         for (i, pos) in positions.iter().enumerate() {

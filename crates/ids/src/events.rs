@@ -184,6 +184,45 @@ pub struct EventExtractor {
     last_tc: BTreeMap<NodeId, SimTime>,
     /// Symmetric 1-hop neighborhood as logged.
     neighbors: BTreeSet<NodeId>,
+    /// Per-neighbor link history: when the current symmetric adjacency was
+    /// established and how often it has flapped. Fed from the same
+    /// `NeighborAdded` / `NeighborLost` records as `neighbors`, never from
+    /// protocol internals.
+    stability: BTreeMap<NodeId, LinkStability>,
+    /// When each `(via, two_hop)` pair was last logged as lost. A denial
+    /// of a link the witness saw alive moments ago is indistinguishable
+    /// from benign churn, so witnesses consult this before testifying.
+    two_hop_losses: BTreeMap<(NodeId, NodeId), SimTime>,
+}
+
+/// The stability history of one symmetric link, as visible in the typed
+/// audit log: the age of the current adjacency plus its flap count.
+///
+/// The trust layer turns this into an evidence weight (see
+/// `trustlink_trust::stability_weight`): testimony carried over a young or
+/// recently flapping link counts for less, so mobility churn degrades
+/// detection gracefully instead of producing false convictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStability {
+    /// When the current symmetric adjacency was established; `None` while
+    /// the link is down (or was never seen).
+    pub up_since: Option<SimTime>,
+    /// How many times the link has been lost (`NeighborLost`) in total.
+    pub flaps: u32,
+    /// When the link last flapped, if ever.
+    pub last_flap: Option<SimTime>,
+}
+
+impl LinkStability {
+    /// Age of the current adjacency in seconds, `None` while down.
+    pub fn age_secs(&self, now: SimTime) -> Option<f64> {
+        self.up_since.map(|since| now.saturating_since(since).as_secs_f64())
+    }
+
+    /// Seconds since the last flap, `None` if the link never flapped.
+    pub fn secs_since_flap(&self, now: SimTime) -> Option<f64> {
+        self.last_flap.map(|at| now.saturating_since(at).as_secs_f64())
+    }
 }
 
 impl EventExtractor {
@@ -259,9 +298,17 @@ impl EventExtractor {
             }
             LogRecord::NeighborAdded { addr } => {
                 self.neighbors.insert(*addr);
+                let hist = self.stability.entry(*addr).or_default();
+                if hist.up_since.is_none() {
+                    hist.up_since = Some(at);
+                }
             }
             LogRecord::NeighborLost { addr } => {
                 self.neighbors.remove(addr);
+                let hist = self.stability.entry(*addr).or_default();
+                hist.up_since = None;
+                hist.flaps += 1;
+                hist.last_flap = Some(at);
             }
             LogRecord::TwoHopAdded { via, addr } => {
                 self.vias.entry(*addr).or_default().insert(*via);
@@ -273,6 +320,7 @@ impl EventExtractor {
                         self.vias.remove(addr);
                     }
                 }
+                self.two_hop_losses.insert((*via, *addr), at);
             }
             LogRecord::DecodeError { from } => {
                 events.push(DetectionEvent::MprMisbehaving {
@@ -427,6 +475,21 @@ impl EventExtractor {
     /// The current symmetric neighborhood as logged.
     pub fn neighbors(&self) -> &BTreeSet<NodeId> {
         &self.neighbors
+    }
+
+    /// The stability history of the symmetric link toward `neighbor`.
+    /// Nodes never seen as neighbors report a default (down, zero-flap)
+    /// history.
+    pub fn link_stability(&self, neighbor: NodeId) -> LinkStability {
+        self.stability.get(&neighbor).copied().unwrap_or_default()
+    }
+
+    /// When the 2-hop pair `addr`-via-`via` was last logged lost, if ever.
+    /// `None` means the pair was never seen to dissolve — either it never
+    /// existed (a phantom link can be denied with confidence) or it is
+    /// still alive.
+    pub fn last_two_hop_loss(&self, via: NodeId, addr: NodeId) -> Option<SimTime> {
+        self.two_hop_losses.get(&(via, addr)).copied()
     }
 }
 

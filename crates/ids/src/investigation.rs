@@ -146,7 +146,7 @@ pub enum WitnessAnswer {
 
 /// One open investigation case: the link `suspect`–`contested` is disputed
 /// and the witnesses are being polled about it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Investigation {
     /// Case identifier.
     pub case: u64,
@@ -156,6 +156,11 @@ pub struct Investigation {
     pub contested: NodeId,
     /// The witnesses polled, with their answers.
     witnesses: Vec<(NodeId, WitnessAnswer)>,
+    /// Stability weight of the link each witness's evidence rides over,
+    /// captured when the case opened (parallel to `witnesses`). Empty when
+    /// the investigator does not weight by stability — every witness then
+    /// reads as `1.0`.
+    stability: Vec<f64>,
     /// When the case was opened.
     pub opened_at: SimTime,
     /// When pending answers are written off as `e = 0`.
@@ -178,9 +183,41 @@ impl Investigation {
             suspect,
             contested,
             witnesses: witnesses.into_iter().map(|w| (w, WitnessAnswer::Pending)).collect(),
+            stability: Vec::new(),
             opened_at,
             deadline: opened_at + timeout,
         }
+    }
+
+    /// Attaches the case-open stability snapshot: `weights[i]` is the
+    /// stability weight of the link toward the `i`-th witness *at the
+    /// moment the case opened*. Churn false positives are triggered by a
+    /// link dissolving — capturing the weights here preserves how unstable
+    /// the neighborhood looked at trigger time even if links settle before
+    /// the deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is not parallel to the witness list.
+    pub fn with_witness_stability(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            self.witnesses.len(),
+            "stability snapshot must be parallel to the witness list"
+        );
+        self.stability = weights;
+        self
+    }
+
+    /// The case-open stability weight recorded for `witness`; `1.0` for
+    /// unknown witnesses or when no snapshot was attached.
+    pub fn witness_stability(&self, witness: NodeId) -> f64 {
+        self.witnesses
+            .iter()
+            .position(|(w, _)| *w == witness)
+            .and_then(|i| self.stability.get(i))
+            .copied()
+            .unwrap_or(1.0)
     }
 
     /// Records an answer. Returns `false` for unknown witnesses or

@@ -53,14 +53,16 @@ pub mod signature;
 
 /// Glob-import of the detection pipeline types.
 pub mod prelude {
-    pub use crate::events::{Criticality, DetectionEvent, EventExtractor, MisbehaviourReason};
+    pub use crate::events::{
+        Criticality, DetectionEvent, EventExtractor, LinkStability, MisbehaviourReason,
+    };
     pub use crate::investigation::{
         plan_witnesses, Investigation, InvestigationConfig, InvestigationMessage, WitnessAnswer,
     };
     pub use crate::signature::{EventPattern, Signature, SignatureEngine, SignatureMatch, Stage};
 }
 
-pub use events::{Criticality, DetectionEvent, EventExtractor, MisbehaviourReason};
+pub use events::{Criticality, DetectionEvent, EventExtractor, LinkStability, MisbehaviourReason};
 pub use investigation::{
     plan_witnesses, Investigation, InvestigationConfig, InvestigationMessage, WitnessAnswer,
 };

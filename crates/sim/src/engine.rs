@@ -15,7 +15,7 @@ use rand::SeedableRng;
 use crate::grid::SpatialGrid;
 use crate::mobility::{Arena, MobilityModel, MobilityState, Position};
 use crate::node::{Application, Command, Context, LogBuffer, NodeId, TimerToken};
-use crate::radio::{DeliveryOutcome, RadioConfig};
+use crate::radio::{ChannelModel, ChannelState, DeliveryOutcome, RadioConfig};
 use crate::record::{FlightRecord, FlightRecorder};
 use crate::stats::TrafficStats;
 use crate::time::{SimDuration, SimTime};
@@ -102,6 +102,7 @@ pub struct SimulatorBuilder {
     mobility_tick: SimDuration,
     scan_mode: ScanMode,
     expected_nodes: usize,
+    channel: Option<ChannelModel>,
 }
 
 /// Event-queue capacity reserved per expected node: a handful of pending
@@ -120,6 +121,7 @@ impl SimulatorBuilder {
             mobility_tick: SimDuration::from_millis(500),
             scan_mode: ScanMode::default(),
             expected_nodes: 0,
+            channel: None,
         }
     }
 
@@ -154,6 +156,17 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Attaches a per-link [`ChannelModel`] (edge overrides, Gilbert–Elliott
+    /// fading). Without one — the default — the uniform [`RadioConfig`] is
+    /// the whole medium, and runs are byte-identical to builds that predate
+    /// the channel layer: the model's per-link RNG streams are the only new
+    /// randomness, and they are derived from `(link, seed)`, never drawn
+    /// from the simulator's global stream.
+    pub fn channel_model(mut self, model: ChannelModel) -> Self {
+        self.channel = Some(model);
+        self
+    }
+
     /// Declares how many nodes the scenario is about to add, so the event
     /// heap, node slots, traffic counters and per-callback scratch buffers
     /// are sized once up front and steady-state event scheduling never
@@ -167,6 +180,7 @@ impl SimulatorBuilder {
     /// Finalizes the configuration into an empty simulator.
     pub fn build(self) -> Simulator {
         let grid = SpatialGrid::new(&self.arena, self.radio.propagation.max_range());
+        let channel = self.channel.map(|m| ChannelState::new(m, self.seed));
         let n = self.expected_nodes;
         let mut stats = TrafficStats::default();
         stats.reserve_nodes(n);
@@ -176,6 +190,7 @@ impl SimulatorBuilder {
             seq: 0,
             slots: Vec::with_capacity(n),
             radio: self.radio,
+            channel,
             arena: self.arena,
             rng: StdRng::seed_from_u64(self.seed),
             stats,
@@ -200,6 +215,7 @@ pub struct Simulator {
     seq: u64,
     slots: Vec<NodeSlot>,
     radio: RadioConfig,
+    channel: Option<ChannelState>,
     arena: Arena,
     rng: StdRng,
     stats: TrafficStats,
@@ -347,6 +363,11 @@ impl Simulator {
     /// The radio configuration in force.
     pub fn radio(&self) -> &RadioConfig {
         &self.radio
+    }
+
+    /// The per-link channel state in force, if a model was attached.
+    pub fn channel(&self) -> Option<&ChannelState> {
+        self.channel.as_ref()
     }
 
     /// The receiver-scan mode in force.
@@ -598,7 +619,13 @@ impl Simulator {
     /// and statistics cannot drift apart.
     fn judge_one(&mut self, from: NodeId, to: NodeId, tx_pos: Position, payload: &Bytes) {
         let rx_pos = self.slots[to.index()].position;
-        match self.radio.judge(tx_pos, rx_pos, &mut self.rng) {
+        let outcome = match self.channel.as_mut() {
+            // Channel-model-off: the uniform radio judges alone, drawing
+            // from the global stream exactly as it always has.
+            None => self.radio.judge(tx_pos, rx_pos, &mut self.rng),
+            Some(ch) => ch.judge(&self.radio, from, to, tx_pos, rx_pos, &mut self.rng),
+        };
+        match outcome {
             DeliveryOutcome::Deliver(delay) => {
                 self.schedule(delay, EventKind::Deliver { to, from, payload: payload.clone() })
             }
@@ -622,7 +649,11 @@ impl Simulator {
             return;
         }
         let rx_pos = self.slots[to.index()].position;
-        match self.radio.judge(tx_pos, rx_pos, &mut self.rng) {
+        let outcome = match self.channel.as_mut() {
+            None => self.radio.judge(tx_pos, rx_pos, &mut self.rng),
+            Some(ch) => ch.judge(&self.radio, from, to, tx_pos, rx_pos, &mut self.rng),
+        };
+        match outcome {
             DeliveryOutcome::Deliver(delay) => {
                 self.schedule(delay, EventKind::Deliver { to, from, payload })
             }

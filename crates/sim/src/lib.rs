@@ -70,7 +70,9 @@ pub mod prelude {
     pub use crate::engine::{ScanMode, Simulator, SimulatorBuilder};
     pub use crate::mobility::{Arena, MobilityModel, Position};
     pub use crate::node::{Application, Context, LogBuffer, NodeId, TimerToken};
-    pub use crate::radio::{Propagation, RadioConfig};
+    pub use crate::radio::{
+        ChannelModel, ChannelState, FadingConfig, LinkOverride, Propagation, RadioConfig,
+    };
     pub use crate::record::{
         FlightRecord, FlightRecorder, LogRecord, MessageKind, SuppressReason, VerdictKind,
         Willingness,
@@ -83,7 +85,7 @@ pub use engine::{ScanMode, Simulator, SimulatorBuilder};
 pub use grid::SpatialGrid;
 pub use mobility::{Arena, MobilityModel, Position};
 pub use node::{Application, Context, LogBuffer, NodeId, TimerToken};
-pub use radio::{Propagation, RadioConfig};
+pub use radio::{ChannelModel, ChannelState, FadingConfig, LinkOverride, Propagation, RadioConfig};
 pub use record::{
     parse_line, FlightRecord, FlightRecorder, LogRecord, MessageKind, ParseLogError,
     SuppressReason, VerdictKind, Willingness,

@@ -104,6 +104,49 @@ pub fn weighted_evidence_samples(
         .collect()
 }
 
+/// Formula (8) with per-witness link-stability dilution: each evidence
+/// value is scaled by the stability weight `s_i ∈ [0, 1]` of the link it
+/// was sourced over (see [`crate::stability`]), while the normalizer keeps
+/// the witness's **full** trust.
+///
+/// Scaling the numerator but not the denominator makes unstable evidence
+/// behave like a partial non-answer: it pulls `Detect` toward zero instead
+/// of merely rebalancing the votes. Under heavy churn no coalition of
+/// young-link witnesses can push `|Detect|` past the average stability of
+/// their links, so rule (10) withholds judgement — churn delays verdicts,
+/// it cannot manufacture them. With every `s_i = 1.0` the computation is
+/// bit-identical to [`detection_value`].
+pub fn stability_weighted_detection_value(
+    answers: impl IntoIterator<Item = (TrustValue, f64, Answer)>,
+) -> f64 {
+    let mut num = 0.0;
+    let mut denom = 0.0;
+    for (trust, stability, answer) in answers {
+        let w = trust.weight();
+        num += w * (stability * answer.as_f64());
+        denom += w;
+    }
+    if denom <= 0.0 {
+        0.0
+    } else {
+        num / denom
+    }
+}
+
+/// The stability-diluted counterpart of [`weighted_evidence_samples`]: the
+/// sample for formula (9) is the stability-scaled weighted evidence of each
+/// answering, positively-trusted witness. With every stability at `1.0`
+/// this is bit-identical to [`weighted_evidence_samples`].
+pub fn stability_weighted_evidence_samples(
+    answers: impl IntoIterator<Item = (TrustValue, f64, Answer)>,
+) -> Vec<f64> {
+    answers
+        .into_iter()
+        .filter(|(t, _, a)| *a != Answer::NoAnswer && t.weight() > 0.0)
+        .map(|(t, s, a)| t.weight() * (s * a.as_f64()))
+        .collect()
+}
+
 /// The unweighted counterpart of [`weighted_evidence_samples`] (for the
 /// trust-weighting ablation): the raw evidences of answering witnesses.
 pub fn answered_samples(answers: impl IntoIterator<Item = Answer>) -> Vec<f64> {
@@ -248,5 +291,49 @@ mod tests {
         let samples =
             answered_samples([Answer::Deny, Answer::NoAnswer, Answer::Confirm, Answer::Deny]);
         assert_eq!(samples, vec![-1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn full_stability_is_bit_identical_to_formula_eight() {
+        let pairs = [
+            (TrustValue::new(0.8), Answer::Deny),
+            (TrustValue::new(0.4), Answer::NoAnswer),
+            (TrustValue::new(0.3), Answer::Confirm),
+            (TrustValue::new(-0.2), Answer::Deny),
+        ];
+        let with = stability_weighted_detection_value(pairs.iter().map(|&(t, a)| (t, 1.0, a)));
+        let without = detection_value(pairs.iter().copied());
+        assert_eq!(with.to_bits(), without.to_bits());
+        let s_with: Vec<f64> =
+            stability_weighted_evidence_samples(pairs.iter().map(|&(t, a)| (t, 1.0, a)));
+        let s_without = weighted_evidence_samples(pairs.iter().copied());
+        assert_eq!(s_with, s_without);
+    }
+
+    #[test]
+    fn unstable_evidence_dilutes_toward_zero() {
+        // Unanimous denial, but every link is half-stable: |Detect| is
+        // capped by the average stability, not pushed back to -1.
+        let d = stability_weighted_detection_value([
+            (TrustValue::new(0.6), 0.5, Answer::Deny),
+            (TrustValue::new(0.6), 0.5, Answer::Deny),
+        ]);
+        assert!((d - (-0.5)).abs() < 1e-12, "d={d}");
+        // Mixed stability rebalances toward the stable witness.
+        let d = stability_weighted_detection_value([
+            (TrustValue::new(0.6), 1.0, Answer::Deny),
+            (TrustValue::new(0.6), 0.0, Answer::Confirm),
+        ]);
+        assert!((d - (-0.5)).abs() < 1e-12, "d={d}");
+    }
+
+    #[test]
+    fn stability_dilution_cannot_flip_a_sign() {
+        let stable = stability_weighted_detection_value([
+            (TrustValue::new(0.5), 1.0, Answer::Deny),
+            (TrustValue::new(0.5), 0.2, Answer::Deny),
+        ]);
+        assert!(stable < 0.0);
+        assert!(stable >= -1.0);
     }
 }

@@ -51,26 +51,29 @@ pub mod confidence;
 pub mod decision;
 pub mod entropy;
 pub mod propagation;
+pub mod stability;
 pub mod store;
 pub mod update;
 pub mod value;
 
 /// Glob-import of the commonly used types and functions.
 pub mod prelude {
-    pub use crate::aggregate::{detection_value, Answer};
+    pub use crate::aggregate::{detection_value, stability_weighted_detection_value, Answer};
     pub use crate::confidence::{margin_of_error, probit, ConfidenceInterval};
     pub use crate::decision::{DecisionRule, Verdict};
     pub use crate::entropy::{binary_entropy, probability_from_trust, trust_from_probability};
     pub use crate::propagation::{concatenated, multipath, Recommendation};
+    pub use crate::stability::{stability_weight, StabilityParams};
     pub use crate::store::TrustStore;
     pub use crate::update::TrustUpdate;
     pub use crate::value::{EvidenceKind, GravityCatalogue, TrustValue};
 }
 
-pub use aggregate::{detection_value, Answer};
+pub use aggregate::{detection_value, stability_weighted_detection_value, Answer};
 pub use confidence::{margin_of_error, probit, ConfidenceInterval};
 pub use decision::{DecisionRule, Verdict};
 pub use propagation::Recommendation;
+pub use stability::{stability_weight, StabilityParams};
 pub use store::TrustStore;
 pub use update::TrustUpdate;
 pub use value::{EvidenceKind, GravityCatalogue, TrustValue};

@@ -24,9 +24,23 @@ fn spoof(fake: u16) -> LinkSpoofing {
     LinkSpoofing::permanent(SpoofVariant::AdvertiseNonExistent { fake: vec![NodeId(fake)] })
 }
 
+/// Every scenario in this suite honours `TRUSTLINK_RECOMPUTE=incremental|eager`
+/// so CI can replay the whole file under both routing-recompute schedules —
+/// failure handling must not depend on recompute cadence. Unset means the
+/// builder default (incremental).
+fn scenario(seed: u64, n: usize) -> ScenarioBuilder {
+    let builder = ScenarioBuilder::new(seed, n);
+    match std::env::var("TRUSTLINK_RECOMPUTE").as_deref() {
+        Ok("incremental") => builder.recompute_mode(RecomputeMode::Incremental),
+        Ok("eager") => builder.recompute_mode(RecomputeMode::Eager),
+        Ok(other) => panic!("TRUSTLINK_RECOMPUTE must be incremental|eager, got `{other}`"),
+        Err(_) => builder,
+    }
+}
+
 #[test]
 fn detection_survives_ten_percent_frame_loss() {
-    let report = ScenarioBuilder::new(301, 9)
+    let report = scenario(301, 9)
         .topology(Topology::Grid { cols: 3, spacing: 100.0 })
         .radio(RadioConfig::unit_disk(150.0).with_loss(0.10))
         .detector(fast_detector())
@@ -39,7 +53,7 @@ fn detection_survives_ten_percent_frame_loss() {
 
 #[test]
 fn detection_survives_collision_window() {
-    let report = ScenarioBuilder::new(302, 9)
+    let report = scenario(302, 9)
         .topology(Topology::Grid { cols: 3, spacing: 100.0 })
         .radio(RadioConfig::unit_disk(150.0).with_collisions(SimDuration::from_micros(300)))
         .detector(fast_detector())
@@ -54,7 +68,7 @@ fn detection_survives_unresponsive_witnesses() {
     // Two honest witnesses never answer (answer_probability 0): their
     // e = 0 dilutes Detect but must not flip the verdict.
     let silent = DetectorConfig { answer_probability: 0.0, ..fast_detector() };
-    let mut builder = ScenarioBuilder::new(303, 9)
+    let mut builder = scenario(303, 9)
         .topology(Topology::Grid { cols: 3, spacing: 100.0 })
         .detector(fast_detector())
         .attacker(4, spoof(55))
@@ -76,7 +90,7 @@ fn detection_survives_unresponsive_witnesses() {
 #[test]
 fn global_answer_loss_dilutes_but_detects() {
     let lossy = DetectorConfig { answer_probability: 0.7, ..fast_detector() };
-    let report = ScenarioBuilder::new(304, 9)
+    let report = scenario(304, 9)
         .topology(Topology::Grid { cols: 3, spacing: 100.0 })
         .detector(lossy)
         .attacker(4, spoof(55))
@@ -133,7 +147,7 @@ fn dead_witnesses_do_not_block_detection() {
 fn partitioned_network_cannot_convict_across_the_cut() {
     // Two 3-node islands far apart: detectors in one island never hear the
     // other; no cross-island verdicts of any kind should exist.
-    let report = ScenarioBuilder::new(306, 6)
+    let report = scenario(306, 6)
         .topology(Topology::Line { spacing: 100.0 })
         .radio(RadioConfig::unit_disk(120.0))
         .detector(fast_detector())

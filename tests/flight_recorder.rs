@@ -118,3 +118,45 @@ fn replay_is_a_pure_function_of_the_recording() {
     assert_eq!(a, b);
     assert_eq!(a.verdicts, report.verdicts);
 }
+
+#[test]
+fn corrupted_rlog_text_errs_instead_of_panicking() {
+    // A real recording, then every flavour of on-disk corruption a saved
+    // rlog can suffer: mid-line truncation, a garbled line spliced into
+    // the middle, and node ids outside the `N0..N65535` domain. Each must
+    // surface as a `ParseLogError`, never a panic, and never a silently
+    // mangled recording.
+    let report = recorded_scenario(504);
+    let rlog = record_scenario(&report).to_rlog();
+    assert!(rlog.is_ascii(), "rlog text must be plain ASCII");
+
+    // Truncation at arbitrary byte offsets: the cut line either parses to
+    // a valid (shorter) record or errors — and parsing must be total.
+    for cut in [rlog.len() / 7, rlog.len() / 3, rlog.len() / 2, rlog.len() - 3] {
+        let _ = FlightRecorder::from_rlog(&rlog[..cut]);
+    }
+
+    // A garbled line in the middle is a hard error, not a skip: replaying
+    // a recording with a hole would silently change verdicts.
+    let mut lines: Vec<&str> = rlog.lines().collect();
+    let mid = lines.len() / 2;
+    lines.insert(mid, "1234 N3 HELLO_RX from=garbage");
+    let spliced = lines.join("\n");
+    assert!(FlightRecorder::from_rlog(&spliced).is_err(), "a garbled HELLO_RX line was accepted");
+
+    for bad in [
+        "99 N70000 NBR_ADD addr=N1",   // node id overflows u16
+        "99 X5 NBR_ADD addr=N1",       // missing N prefix
+        "99 N3 NBR_ADD addr=N-2",      // negative node id
+        "99 N3 NO_SUCH_TAG addr=N1",   // unknown record tag
+        "99 N3",                       // record part missing entirely
+        "notatime N3 NBR_ADD addr=N1", // unparseable timestamp
+    ] {
+        assert!(FlightRecorder::from_rlog(bad).is_err(), "accepted corrupt rlog line `{bad}`");
+    }
+
+    // Comments and blank lines are the only tolerated non-records.
+    let commented = format!("# saved by the robustness suite\n\n{rlog}");
+    let reparsed = FlightRecorder::from_rlog(&commented).expect("comments are skippable");
+    assert_eq!(reparsed.len(), record_scenario(&report).len());
+}

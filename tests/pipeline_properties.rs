@@ -201,6 +201,56 @@ proptest! {
     }
 
     #[test]
+    fn parser_is_total_on_noise(chars in proptest::collection::vec(any::<char>(), 0..120)) {
+        // Arbitrary garbage: the parsers must return `Err` (or a benign
+        // `Ok`), never panic — one corrupted line in a saved rlog must not
+        // take the replayer down with it.
+        let line: String = chars.into_iter().collect();
+        let _ = parse_line(&line);
+        let _ = from_rlog_line(&line);
+    }
+
+    #[test]
+    fn parser_is_total_on_truncated_lines(
+        record in log_record(),
+        at_micros in any::<u64>(),
+        node in node_id(),
+        cut in any::<u16>(),
+    ) {
+        // Rlog lines are pure ASCII, so any byte prefix is a valid slice.
+        let line = record.to_rlog(SimTime::from_micros(at_micros), node);
+        prop_assert!(line.is_ascii());
+        let truncated = &line[..usize::from(cut) % line.len().max(1)];
+        if let Ok((at, n, parsed)) = from_rlog_line(truncated) {
+            // A truncation can still parse (a trailing list element cut
+            // cleanly, say) — whatever it parses to must round-trip.
+            let reparsed = from_rlog_line(&parsed.to_rlog(at, n)).unwrap();
+            prop_assert_eq!(reparsed, (at, n, parsed));
+        }
+    }
+
+    #[test]
+    fn garbled_node_ids_are_rejected(
+        at_micros in any::<u64>(),
+        kind in 0u8..4,
+        fill in any::<u32>(),
+    ) {
+        // Node fields outside `N0..N65535` (overflow, missing prefix,
+        // negatives, empty) must come back as `Err`, never panic and never
+        // a silently-wrapped id.
+        let bogus = match kind {
+            0 => format!("N{}", 65_536u64 + u64::from(fill)), // overflow
+            1 => format!("x{fill}"),                          // missing N prefix
+            2 => format!("N-{}", fill % 10_000),              // negative
+            _ => String::new(),                               // empty
+        };
+        let line = format!("{at_micros} {bogus} NBR_ADD addr=N1");
+        prop_assert!(from_rlog_line(&line).is_err(), "accepted bogus node `{}`", bogus);
+        let rec = format!("NBR_ADD addr={bogus}");
+        prop_assert!(parse_line(&rec).is_err(), "accepted bogus addr `{}`", bogus);
+    }
+
+    #[test]
     fn extractor_never_panics_on_valid_records(
         records in proptest::collection::vec(log_record(), 0..64),
     ) {

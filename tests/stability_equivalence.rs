@@ -1,0 +1,100 @@
+//! Stability-weighting equivalence suite.
+//!
+//! `DetectorConfig::stability_weighting` dilutes evidence carried over
+//! young or flapping links so mobility churn degrades detection gracefully.
+//! On a **flap-free** network the weighting must be a no-op: every link
+//! matures past `mature_age_secs` before the warmup ends, every stability
+//! weight is exactly `1.0`, and `w * (1.0 * e) == w * e` bit-for-bit in
+//! IEEE arithmetic. These tests pin that contract — a stationary loss-free
+//! run is **byte-identical** with the weighting on and off — plus the
+//! weaker guarantee that still holds once loss-induced flaps appear: the
+//! *conviction set* of a stationary run does not change.
+
+use trustlink_core::prelude::*;
+use trustlink_core::DetectorConfig;
+use trustlink_tests::{assert_recordings_identical, text_fingerprint};
+
+fn weighted(on: bool) -> DetectorConfig {
+    DetectorConfig { stability_weighting: on, ..DetectorConfig::default() }
+}
+
+/// A stationary 3×3 mesh with a phantom-link spoofer and no frame loss:
+/// links come up once, never flap, and stay up for the whole run.
+fn flap_free_scenario(seed: u64, on: bool) -> ScenarioReport {
+    ScenarioBuilder::new(seed, 9)
+        .topology(Topology::Grid { cols: 3, spacing: 100.0 })
+        .radio(RadioConfig::unit_disk(170.0))
+        .detector(weighted(on))
+        .attacker(
+            8,
+            LinkSpoofing::permanent(SpoofVariant::AdvertiseNonExistent { fake: vec![NodeId(99)] }),
+        )
+        .duration(SimDuration::from_secs(60))
+        .run()
+}
+
+#[test]
+fn flap_free_run_is_byte_identical_with_weighting_on() {
+    for seed in [7, 21] {
+        let on = flap_free_scenario(seed, true);
+        let off = flap_free_scenario(seed, false);
+        assert_recordings_identical(
+            "flap-free stability weighting",
+            &on.sim.flight_recorder(),
+            &off.sim.flight_recorder(),
+        );
+        assert_eq!(
+            text_fingerprint(&on.sim),
+            text_fingerprint(&off.sim),
+            "seed {seed}: stability weighting perturbed a flap-free run"
+        );
+    }
+}
+
+/// The lossy-stationary variant of the same mesh: 5% frame loss produces
+/// occasional HELLO droughts, so links *do* flap and the runs are no longer
+/// byte-identical. The weighting may dilute individual detect values, but
+/// the set of `(observer, suspect)` convictions must not change — the
+/// spoofer is advertised persistently and denied via the never-seen path,
+/// which stability weighting leaves untouched.
+#[test]
+fn lossy_stationary_conviction_sets_are_exact() {
+    for seed in [7, 8, 42] {
+        let run = |on: bool| {
+            ScenarioBuilder::new(seed, 9)
+                .topology(Topology::Grid { cols: 3, spacing: 100.0 })
+                .radio(RadioConfig::unit_disk(170.0).with_loss(0.05))
+                .detector(weighted(on))
+                .attacker(
+                    8,
+                    LinkSpoofing::permanent(SpoofVariant::AdvertiseNonExistent {
+                        fake: vec![NodeId(99)],
+                    }),
+                )
+                .duration(SimDuration::from_secs(60))
+                .run()
+        };
+        let convictions = |r: &ScenarioReport| {
+            let mut set: Vec<(NodeId, NodeId)> = r
+                .verdicts
+                .iter()
+                .filter(|(_, v)| v.verdict == Verdict::Intruder)
+                .map(|(observer, v)| (*observer, v.suspect))
+                .collect();
+            set.sort_unstable();
+            set.dedup();
+            set
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(
+            convictions(&on),
+            convictions(&off),
+            "seed {seed}: stability weighting changed a stationary conviction set"
+        );
+        assert!(
+            off.detected(NodeId(8)),
+            "seed {seed}: baseline failed to convict the spoofer at all"
+        );
+    }
+}
