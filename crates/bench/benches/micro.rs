@@ -114,7 +114,7 @@ fn bench_log_pipeline(c: &mut Criterion) {
         from: NodeId(3),
         willingness: Willingness::Default,
         sym: (0..8).map(NodeId).collect(),
-        asym: vec![NodeId(9)],
+        asym: Box::from([NodeId(9)]),
     };
     c.bench_function("log_render", |b| b.iter(|| black_box(record.to_line())));
     let line = record.to_line();

@@ -895,7 +895,7 @@ mod tests {
                 from: NodeId(from),
                 willingness: Willingness::Default,
                 sym: sym.iter().map(|&n| NodeId(n)).collect(),
-                asym: vec![],
+                asym: Box::from([]),
             },
         );
     }

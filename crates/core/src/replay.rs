@@ -223,8 +223,8 @@ mod tests {
             LogRecord::HelloRx {
                 from: NodeId(1),
                 willingness: Willingness::Default,
-                sym: vec![NodeId(99)],
-                asym: vec![],
+                sym: Box::from([NodeId(99)]),
+                asym: Box::from([]),
             },
         );
         rec.push(SimTime::from_secs(2), n, LogRecord::AnalysisTick);
@@ -234,8 +234,8 @@ mod tests {
             LogRecord::HelloRx {
                 from: NodeId(1),
                 willingness: Willingness::Default,
-                sym: vec![NodeId(98)],
-                asym: vec![],
+                sym: Box::from([NodeId(98)]),
+                asym: Box::from([]),
             },
         );
         let replay = replay_recording(&rec, SimDuration::from_secs(1000));

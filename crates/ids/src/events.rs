@@ -247,7 +247,7 @@ impl EventExtractor {
                 // would also make detection depend on how eagerly the
                 // router schedules its recomputations, which is exactly
                 // what the recompute-mode equivalence contract forbids.
-                self.mprs = mprs.clone();
+                self.mprs = mprs.to_vec();
             }
             LogRecord::HelloRx { from, sym, .. } => {
                 // E2 heuristic: claiming a node nobody has ever heard of.
@@ -261,11 +261,11 @@ impl EventExtractor {
                         self.known.insert(*claimed);
                     }
                 }
-                let changed = self.claims.get(from).is_none_or(|prev| prev != sym);
+                let changed = self.claims.get(from).is_none_or(|prev| prev[..] != sym[..]);
                 if changed {
                     self.claim_changed_at.insert(*from, at);
                 }
-                self.claims.insert(*from, sym.clone());
+                self.claims.insert(*from, sym.to_vec());
             }
             LogRecord::TcRx { originator, advertised, .. } => {
                 // TC-spoofing heuristic (§III-A: "detection strategy [is]
@@ -507,7 +507,7 @@ mod tests {
             from: NodeId(from),
             willingness: Willingness::Default,
             sym: sym.iter().map(|&n| NodeId(n)).collect(),
-            asym: vec![],
+            asym: Box::from([]),
         }
     }
 
@@ -515,13 +515,15 @@ mod tests {
     fn mpr_replacement_detected_per_slot() {
         let silence = trustlink_sim::SimDuration::from_secs(1_000);
         let mut ex = EventExtractor::new();
-        assert!(ex.ingest_record(t(1), &LogRecord::MprSet { mprs: vec![NodeId(1)] }).is_empty());
+        assert!(ex
+            .ingest_record(t(1), &LogRecord::MprSet { mprs: vec![NodeId(1)].into() })
+            .is_empty());
         assert!(ex.tick(t(1), silence).is_empty()); // pure addition: no E1
                                                     // Pure addition is not a replacement.
-        ex.ingest_record(t(2), &LogRecord::MprSet { mprs: vec![NodeId(1), NodeId(2)] });
+        ex.ingest_record(t(2), &LogRecord::MprSet { mprs: vec![NodeId(1), NodeId(2)].into() });
         assert!(ex.tick(t(2), silence).is_empty());
         // 1 replaced by 3: E1 at the next slot boundary.
-        ex.ingest_record(t(3), &LogRecord::MprSet { mprs: vec![NodeId(2), NodeId(3)] });
+        ex.ingest_record(t(3), &LogRecord::MprSet { mprs: vec![NodeId(2), NodeId(3)].into() });
         let events = ex.tick(t(3), silence);
         assert_eq!(events.len(), 1);
         match &events[0] {
@@ -544,10 +546,10 @@ mod tests {
         // happened to materialize (the recompute-mode contract).
         let silence = trustlink_sim::SimDuration::from_secs(1_000);
         let mut ex = EventExtractor::new();
-        ex.ingest_record(t(1), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
+        ex.ingest_record(t(1), &LogRecord::MprSet { mprs: vec![NodeId(1)].into() });
         assert!(ex.tick(t(1), silence).is_empty());
-        ex.ingest_record(t(2), &LogRecord::MprSet { mprs: vec![NodeId(3)] });
-        ex.ingest_record(t(2), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
+        ex.ingest_record(t(2), &LogRecord::MprSet { mprs: vec![NodeId(3)].into() });
+        ex.ingest_record(t(2), &LogRecord::MprSet { mprs: vec![NodeId(1)].into() });
         assert!(ex.tick(t(2), silence).is_empty());
     }
 
@@ -575,7 +577,7 @@ mod tests {
     #[test]
     fn sole_connectivity_on_tick() {
         let mut ex = EventExtractor::new();
-        ex.ingest_record(t(0), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
+        ex.ingest_record(t(0), &LogRecord::MprSet { mprs: vec![NodeId(1)].into() });
         ex.ingest_record(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(10) });
         ex.ingest_record(t(0), &LogRecord::TwoHopAdded { via: NodeId(1), addr: NodeId(11) });
         ex.ingest_record(t(0), &LogRecord::TwoHopAdded { via: NodeId(2), addr: NodeId(11) });
@@ -596,14 +598,14 @@ mod tests {
     #[test]
     fn tc_silence_flagged() {
         let mut ex = EventExtractor::new();
-        ex.ingest_record(t(0), &LogRecord::MprSet { mprs: vec![NodeId(1)] });
+        ex.ingest_record(t(0), &LogRecord::MprSet { mprs: vec![NodeId(1)].into() });
         ex.ingest_record(
             t(1),
             &LogRecord::TcRx {
                 originator: NodeId(1),
                 sender: NodeId(1),
                 ansn: 1,
-                advertised: vec![NodeId(0)],
+                advertised: Box::from([NodeId(0)]),
             },
         );
         // Within the allowance: quiet.
@@ -635,7 +637,7 @@ mod tests {
                 originator: NodeId(5),
                 sender: NodeId(1),
                 ansn: 1,
-                advertised: vec![NodeId(1), NodeId(99)], // N99 never seen
+                advertised: Box::from([NodeId(1), NodeId(99)]), // N99 never seen
             },
         );
         assert_eq!(events.len(), 1);
@@ -654,7 +656,7 @@ mod tests {
                 originator: NodeId(5),
                 sender: NodeId(1),
                 ansn: 2,
-                advertised: vec![NodeId(99)],
+                advertised: Box::from([NodeId(99)]),
             },
         );
         assert!(again.is_empty());
@@ -667,7 +669,7 @@ mod tests {
         // N5 claims N7 (a known main address) as its alias: hijack.
         let events = ex.ingest_record(
             t(1),
-            &LogRecord::MidRx { originator: NodeId(5), aliases: vec![NodeId(7)] },
+            &LogRecord::MidRx { originator: NodeId(5), aliases: vec![NodeId(7)].into() },
         );
         assert!(matches!(
             events[0],
@@ -680,7 +682,7 @@ mod tests {
         // A fresh, unknown alias is legitimate MID usage: no event.
         let ok = ex.ingest_record(
             t(2),
-            &LogRecord::MidRx { originator: NodeId(6), aliases: vec![NodeId(60)] },
+            &LogRecord::MidRx { originator: NodeId(6), aliases: vec![NodeId(60)].into() },
         );
         assert!(ok.is_empty());
     }

@@ -403,8 +403,8 @@ mod tests {
             &LogRecord::HelloRx {
                 from: NodeId(3),
                 willingness: Willingness::Default,
-                sym: vec![NodeId(0), NodeId(5), NodeId(6), NodeId(7)],
-                asym: vec![],
+                sym: Box::from([NodeId(0), NodeId(5), NodeId(6), NodeId(7)]),
+                asym: Box::from([]),
             },
         );
         // 2-hop: N5 and N6 reachable via old MPR N2; N7 only via N3.

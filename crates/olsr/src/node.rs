@@ -10,7 +10,7 @@
 
 use bytes::Bytes;
 use rand::RngExt;
-use trustlink_sim::{Application, Context, FloodStats, NodeId, SimTime, TimerToken};
+use trustlink_sim::{Application, Context, FloodStats, FrameBatch, NodeId, SimTime, TimerToken};
 
 use crate::hooks::{NoHooks, OlsrHooks};
 use crate::logging::{LogRecord, MessageKind, SuppressReason};
@@ -21,11 +21,14 @@ use crate::message::{
 use crate::mpr::{CandidatePool, MprWorkspace};
 use crate::routing::{RoutingTable, RoutingWorkspace};
 use crate::state::{
-    DuplicateSet, InterfaceAssociationSet, LinkSet, LinkStatus, LinkTuple, MprSelectorSet,
-    NeighborSet, TopologySet, TwoHopSet,
+    DupProbe, DuplicateSet, InterfaceAssociationSet, LinkSet, LinkStatus, LinkTuple,
+    MprSelectorSet, NeighborSet, TopologySet, TwoHopSet,
 };
 use crate::types::{FloodScope, OlsrConfig, RecomputeMode, SequenceNumber, Willingness};
-use crate::wire::{decode_packet_with, encode_packet_into, DecodeArena};
+use crate::wire::{
+    decode_packet_with, encode_packet_into, materialize_message, DecodeArena, MessageType,
+    PacketView,
+};
 
 /// Timer tokens used by the OLSR state machine. Wrappers layering their own
 /// timers on top must use tokens ≥ [`TIMER_USER_BASE`].
@@ -606,8 +609,8 @@ impl<H: OlsrHooks> OlsrNode<H> {
         ctx.log(LogRecord::HelloRx {
             from: originator,
             willingness: hello.willingness,
-            sym: claimed_sym.clone(),
-            asym: claimed_asym.clone(),
+            sym: Box::from(&claimed_sym[..]),
+            asym: Box::from(&claimed_asym[..]),
         });
 
         // Link sensing: hearing them refreshes the asym validity; being
@@ -688,7 +691,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
             originator: msg.originator,
             sender: from,
             ansn: tc.ansn,
-            advertised: tc.advertised.clone(),
+            advertised: Box::from(&tc.advertised[..]),
         });
         let until = now + msg.vtime;
         if self.topology.apply_tc(msg.originator, tc.ansn, &tc.advertised, until, now) {
@@ -705,35 +708,62 @@ impl<H: OlsrHooks> OlsrNode<H> {
             _ => return,
         };
         let dup_until = now + self.config.duplicate_hold_time;
-        let suppress = |this: &mut Self, ctx: &mut Context<'_>, reason: SuppressReason| {
-            ctx.log(LogRecord::ForwardSuppressed {
-                originator: msg.originator,
-                kind,
-                seq: msg.seq.0,
-                reason,
-            });
-            this.duplicates.record(msg.originator, msg.seq, false, dup_until, now);
-        };
-
         if self.duplicates.retransmitted(msg.originator, msg.seq, now) {
-            suppress(self, ctx, SuppressReason::Duplicate);
+            self.suppress_forward(ctx, msg.originator, kind, msg.seq, SuppressReason::Duplicate);
+            self.duplicates.record(msg.originator, msg.seq, false, dup_until, now);
             return;
         }
-        if msg.ttl <= 1 {
-            suppress(self, ctx, SuppressReason::TtlExpired);
-            return;
+        match self.flood_gate(from, msg.ttl, now) {
+            Err(reason) => {
+                self.suppress_forward(ctx, msg.originator, kind, msg.seq, reason);
+                self.duplicates.record(msg.originator, msg.seq, false, dup_until, now);
+            }
+            Ok(()) => self.forward_approved(ctx, msg, from, kind, dup_until, now),
+        }
+    }
+
+    /// The header-only forwarding gates of the default forwarding
+    /// algorithm (§3.4), after the duplicate check: shared verbatim by the
+    /// per-frame oracle and the batched fast path so their decisions
+    /// cannot drift.
+    fn flood_gate(&mut self, from: NodeId, ttl: u8, now: SimTime) -> Result<(), SuppressReason> {
+        if ttl <= 1 {
+            return Err(SuppressReason::TtlExpired);
         }
         let sender_main = self.ifaces.main_of(from, now);
-        if !self.links.symmetric_neighbors(now).contains(&sender_main) {
-            suppress(self, ctx, SuppressReason::UnknownSender);
-            return;
+        if !self.links.is_symmetric(sender_main, now) {
+            return Err(SuppressReason::UnknownSender);
         }
         // Default forwarding algorithm: retransmit only if the sender
         // selected us as its MPR.
         if !self.selectors.contains(sender_main, now) {
-            suppress(self, ctx, SuppressReason::NotMprSelector);
-            return;
+            return Err(SuppressReason::NotMprSelector);
         }
+        Ok(())
+    }
+
+    fn suppress_forward(
+        &mut self,
+        ctx: &mut Context<'_>,
+        originator: NodeId,
+        kind: MessageKind,
+        seq: SequenceNumber,
+        reason: SuppressReason,
+    ) {
+        ctx.log(LogRecord::ForwardSuppressed { originator, kind, seq: seq.0, reason });
+    }
+
+    /// Retransmits a message that passed every gate — or lets a drop
+    /// attacker swallow it. Shared by both receive paths.
+    fn forward_approved(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msg: &Message,
+        from: NodeId,
+        kind: MessageKind,
+        dup_until: SimTime,
+        now: SimTime,
+    ) {
         if !self.hooks.should_forward(msg, from) {
             // A drop attacker stays silent: no log line either — its own
             // logs would incriminate it. The *absence* of forwarding is what
@@ -819,7 +849,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
                     if !already_processed {
                         ctx.log(LogRecord::MidRx {
                             originator: msg.originator,
-                            aliases: m.aliases.clone(),
+                            aliases: Box::from(&m.aliases[..]),
                         });
                         let until = now + msg.vtime;
                         for &alias in &m.aliases {
@@ -832,7 +862,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
                     if !already_processed {
                         ctx.log(LogRecord::HnaRx {
                             originator: msg.originator,
-                            networks: h.networks.clone(),
+                            networks: Box::from(&h.networks[..]),
                         });
                     }
                     self.forward_flooded(ctx, msg, from);
@@ -844,6 +874,12 @@ impl<H: OlsrHooks> OlsrNode<H> {
         }
         self.decode_arena = arena;
         self.decode_arena.recycle(packet);
+        self.after_packet_recompute(ctx);
+    }
+
+    /// The decision-point trailer every received frame pays, shared by both
+    /// receive paths so flush semantics cannot drift between them.
+    fn after_packet_recompute(&mut self, ctx: &mut Context<'_>) {
         if self.flags.any() {
             match self.config.recompute {
                 // The pre-incremental cadence: every state-changing packet
@@ -860,6 +896,124 @@ impl<H: OlsrHooks> OlsrNode<H> {
                 }
             }
         }
+    }
+
+    /// Batched receive fast path: decodes `frame` through a [`PacketView`]
+    /// (validation without materialization) and materializes message
+    /// bodies only when they will actually be processed or retransmitted.
+    ///
+    /// Observably identical to [`Self::handle_packet`] on the same frame:
+    /// every log line, repository mutation, and RNG draw happens in the
+    /// same order. The only elided work is *pure* — body materialization
+    /// for duplicate flood copies whose forwarding decision needs nothing
+    /// beyond the message header, and `DuplicateSet` lookups for message
+    /// kinds the per-frame path queries but never uses.
+    fn handle_frame_view(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        frame: &Bytes,
+        arena: &mut DecodeArena,
+    ) {
+        let view = match PacketView::parse(frame) {
+            Ok(v) => v,
+            Err(_) => {
+                ctx.log(LogRecord::DecodeError { from });
+                return;
+            }
+        };
+        let now = ctx.now();
+        for mv in view.messages() {
+            if mv.originator == self.id {
+                continue; // our own flood echoed back
+            }
+            let kind = match mv.kind {
+                MessageType::Hello => {
+                    let msg = materialize_message(arena, frame, &mv);
+                    if let MessageBody::Hello(h) = &msg.body {
+                        self.process_hello(ctx, msg.originator, h);
+                    }
+                    arena.recycle_message(msg);
+                    continue;
+                }
+                MessageType::Data => {
+                    let msg = materialize_message(arena, frame, &mv);
+                    if let MessageBody::Data(d) = &msg.body {
+                        self.process_data(ctx, &msg, d, from);
+                    }
+                    arena.recycle_message(msg);
+                    continue;
+                }
+                MessageType::Tc => MessageKind::Tc,
+                MessageType::Mid => MessageKind::Mid,
+                MessageType::Hna => MessageKind::Hna,
+            };
+            // Flooded control traffic. One duplicate-set probe replaces the
+            // per-frame path's seen() + retransmitted() pair, and already
+            // applies the `forwarded = false` record for suppressed copies.
+            let dup_until = now + self.config.duplicate_hold_time;
+            match self.duplicates.probe_flood(mv.originator, mv.seq, dup_until, now) {
+                DupProbe::Retransmitted => {
+                    // Already retransmitted once: suppressed on the header
+                    // alone, body never materialized.
+                    self.suppress_forward(
+                        ctx,
+                        mv.originator,
+                        kind,
+                        mv.seq,
+                        SuppressReason::Duplicate,
+                    );
+                }
+                DupProbe::SeenFresh => {
+                    // Seen but not yet forwarded: processing is skipped, but
+                    // the forwarding decision is still live. Materialize only
+                    // if the gates approve.
+                    match self.flood_gate(from, mv.ttl, now) {
+                        Err(reason) => {
+                            self.suppress_forward(ctx, mv.originator, kind, mv.seq, reason);
+                            self.duplicates.record(mv.originator, mv.seq, false, dup_until, now);
+                        }
+                        Ok(()) => {
+                            let msg = materialize_message(arena, frame, &mv);
+                            self.forward_approved(ctx, &msg, from, kind, dup_until, now);
+                            arena.recycle_message(msg);
+                        }
+                    }
+                }
+                DupProbe::New => {
+                    let msg = materialize_message(arena, frame, &mv);
+                    match &msg.body {
+                        MessageBody::Tc(t) => self.process_tc(ctx, &msg, t, from),
+                        MessageBody::Mid(m) => {
+                            ctx.log(LogRecord::MidRx {
+                                originator: msg.originator,
+                                aliases: Box::from(&m.aliases[..]),
+                            });
+                            let until = now + msg.vtime;
+                            for &alias in &m.aliases {
+                                self.ifaces.upsert(alias, msg.originator, until);
+                            }
+                        }
+                        MessageBody::Hna(h) => {
+                            ctx.log(LogRecord::HnaRx {
+                                originator: msg.originator,
+                                networks: Box::from(&h.networks[..]),
+                            });
+                        }
+                        _ => unreachable!("flooded kinds are Tc/Mid/Hna"),
+                    }
+                    match self.flood_gate(from, mv.ttl, now) {
+                        Err(reason) => {
+                            self.suppress_forward(ctx, mv.originator, kind, mv.seq, reason);
+                            self.duplicates.record(mv.originator, mv.seq, false, dup_until, now);
+                        }
+                        Ok(()) => self.forward_approved(ctx, &msg, from, kind, dup_until, now),
+                    }
+                    arena.recycle_message(msg);
+                }
+            }
+        }
+        self.after_packet_recompute(ctx);
     }
 
     // ---- state maintenance ----------------------------------------------
@@ -958,7 +1112,7 @@ impl<H: OlsrHooks> OlsrNode<H> {
                 &mut self.mpr_scratch,
             );
             if self.mpr_scratch != self.mprs {
-                ctx.log(LogRecord::MprSet { mprs: self.mpr_scratch.clone() });
+                ctx.log(LogRecord::MprSet { mprs: Box::from(&self.mpr_scratch[..]) });
                 std::mem::swap(&mut self.mprs, &mut self.mpr_scratch);
             }
         }
@@ -1045,6 +1199,16 @@ impl<H: OlsrHooks> Application for OlsrNode<H> {
 
     fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
         self.handle_packet(ctx, from, payload);
+    }
+
+    fn on_receive_batch(&mut self, ctx: &mut Context<'_>, batch: &mut FrameBatch) {
+        // One arena warm-up amortized across the whole batch; frames decode
+        // zero-copy through `PacketView` and recycle into the same arena.
+        let mut arena = std::mem::take(&mut self.decode_arena);
+        for (from, payload) in batch.drain() {
+            self.handle_frame_view(ctx, from, &payload, &mut arena);
+        }
+        self.decode_arena = arena;
     }
 }
 

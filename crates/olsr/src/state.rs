@@ -134,6 +134,14 @@ impl LinkSet {
         out
     }
 
+    /// `true` when the link to `neighbor` is symmetric at `now`: the
+    /// allocation-free membership form of
+    /// [`LinkSet::symmetric_neighbors`]`.contains(…)`, for per-message
+    /// forwarding gates.
+    pub fn is_symmetric(&self, neighbor: NodeId, now: SimTime) -> bool {
+        self.tuples.get(&neighbor).is_some_and(|t| t.status(now) == LinkStatus::Symmetric)
+    }
+
     /// Allocation-free form of [`LinkSet::symmetric_neighbors`]: `out` is
     /// cleared and refilled (ascending).
     pub fn symmetric_neighbors_into(&self, now: SimTime, out: &mut Vec<NodeId>) {
@@ -595,30 +603,127 @@ impl TopologySet {
 
 /// The duplicate set (RFC 3626 §3.4): remembers processed/forwarded
 /// messages so floods terminate.
+///
+/// This is the hottest repository in the whole stack — every flooded
+/// reception probes it, and at 10³–10⁴ nodes each node holds thousands of
+/// live tuples — so it is a flat open-addressed table rather than an
+/// ordered map: one multiply-shift hash and (usually) one cache line per
+/// probe, instead of a B-tree descent. Deletion only ever happens
+/// wholesale in [`purge`](Self::purge), which rebuilds the table, so no
+/// tombstones are needed. A slot is free iff its `until` is zero: live
+/// entries always expire strictly after the epoch, because
+/// [`record`](Self::record) stores `now + hold` and hold times are
+/// positive.
 #[derive(Debug, Clone, Default)]
 pub struct DuplicateSet {
-    tuples: BTreeMap<(NodeId, u16), DuplicateTuple>,
+    /// Power-of-two slot array; empty until the first record.
+    slots: Vec<DupSlot>,
+    /// Occupied slot count (live and expired-but-not-yet-purged alike).
+    live: usize,
     min_expiry: MinExpiry,
 }
 
-/// One remembered message.
+/// One open-addressing slot: 16 bytes, so a 64-byte cache line holds four.
+#[derive(Debug, Clone, Copy)]
+struct DupSlot {
+    /// Expiry; zero marks the slot free.
+    until: SimTime,
+    /// `(originator << 16) | seq` — the full key, no ambiguity.
+    key: u32,
+    retransmitted: bool,
+}
+
+const DUP_EMPTY: DupSlot = DupSlot { until: SimTime::ZERO, key: 0, retransmitted: false };
+
+fn dup_key(originator: NodeId, seq: SequenceNumber) -> u32 {
+    (u32::from(originator.0) << 16) | u32::from(seq.0)
+}
+
+/// Fibonacci multiply-shift: spreads the structured `(originator, seq)`
+/// key across the table's high bits.
+fn dup_hash(key: u32) -> u64 {
+    u64::from(key).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Verdict of [`DuplicateSet::probe_flood`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DuplicateTuple {
-    /// Whether the message has already been retransmitted by this node.
-    pub retransmitted: bool,
-    /// Expiry.
-    pub until: SimTime,
+pub enum DupProbe {
+    /// Never seen (or only an expired leftover): process and run the
+    /// forwarding gates.
+    New,
+    /// Seen and fresh, but not yet retransmitted: skip processing, run
+    /// the forwarding gates on this copy.
+    SeenFresh,
+    /// Seen, fresh and already retransmitted: suppress outright — the
+    /// expiry extension has already been applied by the probe.
+    Retransmitted,
 }
 
 impl DuplicateSet {
+    /// First table size: small enough to live in L1, large enough that a
+    /// node only rehashes a handful of times on its way to steady state.
+    const INITIAL_SLOTS: usize = 64;
+
+    /// Index of the slot holding `key`, if present (live or expired).
+    fn find(&self, key: u32) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (dup_hash(key) >> 32) as usize & mask;
+        loop {
+            let s = &self.slots[i];
+            if s.until == SimTime::ZERO {
+                return None;
+            }
+            if s.key == key {
+                return Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Places `slot` (whose key must be absent) into its probe position.
+    /// Capacity must already be ensured — the load factor keeps at least
+    /// one slot free, so the probe always terminates.
+    fn insert_new(&mut self, slot: DupSlot) {
+        let mask = self.slots.len() - 1;
+        let mut i = (dup_hash(slot.key) >> 32) as usize & mask;
+        while self.slots[i].until != SimTime::ZERO {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = slot;
+        self.live += 1;
+    }
+
+    /// Grows (or first allocates) the table when one more insert would
+    /// push occupancy past ~70%.
+    fn ensure_capacity(&mut self) {
+        let cap = self.slots.len();
+        if cap > 0 && (self.live + 1) * 10 <= cap * 7 {
+            return;
+        }
+        let new_cap = (cap * 2).max(Self::INITIAL_SLOTS);
+        let old = std::mem::replace(&mut self.slots, vec![DUP_EMPTY; new_cap]);
+        self.live = 0;
+        for s in old {
+            if s.until != SimTime::ZERO {
+                self.insert_new(s);
+            }
+        }
+    }
+
     /// `true` when `(originator, seq)` was already processed.
     pub fn seen(&self, originator: NodeId, seq: SequenceNumber, now: SimTime) -> bool {
-        self.tuples.get(&(originator, seq.0)).is_some_and(|t| t.until > now)
+        self.find(dup_key(originator, seq)).is_some_and(|i| self.slots[i].until > now)
     }
 
     /// `true` when `(originator, seq)` was already retransmitted.
     pub fn retransmitted(&self, originator: NodeId, seq: SequenceNumber, now: SimTime) -> bool {
-        self.tuples.get(&(originator, seq.0)).is_some_and(|t| t.until > now && t.retransmitted)
+        self.find(dup_key(originator, seq)).is_some_and(|i| {
+            let s = &self.slots[i];
+            s.until > now && s.retransmitted
+        })
     }
 
     /// Records a processed message as of `now`. An expired leftover for the
@@ -635,39 +740,82 @@ impl DuplicateSet {
         now: SimTime,
     ) {
         self.min_expiry.cover(until);
-        let e = self
-            .tuples
-            .entry((originator, seq.0))
-            .or_insert(DuplicateTuple { retransmitted, until });
-        if e.until <= now {
-            *e = DuplicateTuple { retransmitted, until };
+        let key = dup_key(originator, seq);
+        if let Some(i) = self.find(key) {
+            let s = &mut self.slots[i];
+            if s.until <= now {
+                s.retransmitted = retransmitted;
+                s.until = until;
+            } else {
+                s.retransmitted |= retransmitted;
+                s.until = s.until.max(until);
+            }
         } else {
-            e.retransmitted |= retransmitted;
-            e.until = e.until.max(until);
+            self.ensure_capacity();
+            self.insert_new(DupSlot { until, key, retransmitted });
         }
     }
 
-    /// Drops expired entries. Min-expiry gated: free while nothing can have
-    /// expired.
+    /// One-probe flood triage for the batched receive path: a single map
+    /// access answers what [`seen`](Self::seen) and
+    /// [`retransmitted`](Self::retransmitted) would answer separately,
+    /// and for the dominant already-retransmitted copy it applies — in
+    /// place — exactly the state [`record`](Self::record)`(…, false,
+    /// dup_until, now)` would leave behind when the copy is suppressed
+    /// (expiry extension; the flag stays set). For the other two verdicts
+    /// the set is not touched: the caller's forwarding gates decide and
+    /// record as usual.
+    pub fn probe_flood(
+        &mut self,
+        originator: NodeId,
+        seq: SequenceNumber,
+        dup_until: SimTime,
+        now: SimTime,
+    ) -> DupProbe {
+        match self.find(dup_key(originator, seq)) {
+            Some(i) if self.slots[i].until > now => {
+                let s = &mut self.slots[i];
+                if s.retransmitted {
+                    self.min_expiry.cover(dup_until);
+                    s.until = s.until.max(dup_until);
+                    DupProbe::Retransmitted
+                } else {
+                    DupProbe::SeenFresh
+                }
+            }
+            // Absent, or an expired leftover from a wrapped sequence
+            // number: semantically a brand-new message either way.
+            _ => DupProbe::New,
+        }
+    }
+
+    /// Drops expired entries by rebuilding the table — the wholesale
+    /// deletion that lets the probe paths go tombstone-free. Min-expiry
+    /// gated: free while nothing can have expired.
     pub fn purge(&mut self, now: SimTime) {
         if self.min_expiry.nothing_due(now) {
             return;
         }
-        self.tuples.retain(|_, t| t.until > now);
+        let cap = self.slots.len();
+        let old = std::mem::replace(&mut self.slots, vec![DUP_EMPTY; cap]);
+        self.live = 0;
         self.min_expiry.reset();
-        for t in self.tuples.values() {
-            self.min_expiry.cover(t.until);
+        for s in old {
+            if s.until > now {
+                self.min_expiry.cover(s.until);
+                self.insert_new(s);
+            }
         }
     }
 
     /// Number of remembered messages.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.live
     }
 
     /// `true` when empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.live == 0
     }
 }
 

@@ -42,6 +42,12 @@ const PACKET_HEADER_LEN: usize = 4;
 const MESSAGE_HEADER_LEN: usize = 10;
 const NO_AVOID: u16 = u16::MAX;
 
+const MSG_HELLO: u8 = 1;
+const MSG_TC: u8 = 2;
+const MSG_MID: u8 = 3;
+const MSG_HNA: u8 = 4;
+const MSG_DATA: u8 = 200;
+
 /// Encodes a packet to bytes.
 ///
 /// # Panics
@@ -179,35 +185,41 @@ impl DecodeArena {
     pub fn recycle(&mut self, packet: Packet) {
         let mut msgs = packet.messages;
         for msg in msgs.drain(..) {
-            match msg.body {
-                MessageBody::Hello(h) => {
-                    let mut groups = h.groups;
-                    for g in groups.drain(..) {
-                        let mut addrs = g.addrs;
-                        addrs.clear();
-                        self.addr_bufs.push(addrs);
-                    }
-                    self.group_bufs.push(groups);
-                }
-                MessageBody::Tc(t) => {
-                    let mut addrs = t.advertised;
-                    addrs.clear();
-                    self.addr_bufs.push(addrs);
-                }
-                MessageBody::Mid(m) => {
-                    let mut addrs = m.aliases;
-                    addrs.clear();
-                    self.addr_bufs.push(addrs);
-                }
-                MessageBody::Hna(h) => {
-                    let mut nets = h.networks;
-                    nets.clear();
-                    self.net_bufs.push(nets);
-                }
-                MessageBody::Data(_) => {} // payload is a zero-copy slice
-            }
+            self.recycle_message(msg);
         }
         self.msg_bufs.push(msgs);
+    }
+
+    /// Parks one message's vectors, for callers that materialize messages
+    /// individually ([`materialize_message`]) rather than whole packets.
+    pub fn recycle_message(&mut self, msg: Message) {
+        match msg.body {
+            MessageBody::Hello(h) => {
+                let mut groups = h.groups;
+                for g in groups.drain(..) {
+                    let mut addrs = g.addrs;
+                    addrs.clear();
+                    self.addr_bufs.push(addrs);
+                }
+                self.group_bufs.push(groups);
+            }
+            MessageBody::Tc(t) => {
+                let mut addrs = t.advertised;
+                addrs.clear();
+                self.addr_bufs.push(addrs);
+            }
+            MessageBody::Mid(m) => {
+                let mut addrs = m.aliases;
+                addrs.clear();
+                self.addr_bufs.push(addrs);
+            }
+            MessageBody::Hna(h) => {
+                let mut nets = h.networks;
+                nets.clear();
+                self.net_bufs.push(nets);
+            }
+            MessageBody::Data(_) => {} // payload is a zero-copy slice
+        }
     }
 }
 
@@ -279,37 +291,41 @@ fn decode_message(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<Message,
     }
     let mut body_bytes = bytes.split_to(body_len);
     let body = match msg_type {
-        1 => MessageBody::Hello(decode_hello(arena, &mut body_bytes)?),
-        2 => MessageBody::Tc(decode_tc(arena, &mut body_bytes)?),
-        3 => {
-            let mut aliases = arena.take_addrs();
-            aliases.reserve(body_bytes.remaining() / 2);
-            while body_bytes.remaining() >= 2 {
-                aliases.push(NodeId(body_bytes.get_u16()));
-            }
-            if body_bytes.has_remaining() {
-                return Err(WireError::BadLength);
-            }
-            MessageBody::Mid(MidMessage { aliases })
-        }
-        4 => {
-            let mut networks = arena.take_nets();
-            networks.reserve(body_bytes.remaining() / 4);
-            while body_bytes.remaining() >= 4 {
-                let net = NodeId(body_bytes.get_u16());
-                let prefix = body_bytes.get_u8();
-                let _reserved = body_bytes.get_u8();
-                networks.push((net, prefix));
-            }
-            if body_bytes.has_remaining() {
-                return Err(WireError::BadLength);
-            }
-            MessageBody::Hna(HnaMessage { networks })
-        }
-        200 => MessageBody::Data(decode_data(&mut body_bytes)?),
+        MSG_HELLO => MessageBody::Hello(decode_hello(arena, &mut body_bytes)?),
+        MSG_TC => MessageBody::Tc(decode_tc(arena, &mut body_bytes)?),
+        MSG_MID => MessageBody::Mid(decode_mid(arena, &mut body_bytes)?),
+        MSG_HNA => MessageBody::Hna(decode_hna(arena, &mut body_bytes)?),
+        MSG_DATA => MessageBody::Data(decode_data(&mut body_bytes)?),
         other => return Err(WireError::UnknownMessageType(other)),
     };
     Ok(Message { vtime, originator, ttl, hop_count, seq, body })
+}
+
+fn decode_mid(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<MidMessage, WireError> {
+    let mut aliases = arena.take_addrs();
+    aliases.reserve(bytes.remaining() / 2);
+    while bytes.remaining() >= 2 {
+        aliases.push(NodeId(bytes.get_u16()));
+    }
+    if bytes.has_remaining() {
+        return Err(WireError::BadLength);
+    }
+    Ok(MidMessage { aliases })
+}
+
+fn decode_hna(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<HnaMessage, WireError> {
+    let mut networks = arena.take_nets();
+    networks.reserve(bytes.remaining() / 4);
+    while bytes.remaining() >= 4 {
+        let net = NodeId(bytes.get_u16());
+        let prefix = bytes.get_u8();
+        let _reserved = bytes.get_u8();
+        networks.push((net, prefix));
+    }
+    if bytes.has_remaining() {
+        return Err(WireError::BadLength);
+    }
+    Ok(HnaMessage { networks })
 }
 
 fn decode_hello(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<HelloMessage, WireError> {
@@ -378,6 +394,244 @@ fn decode_data(bytes: &mut Bytes) -> Result<DataMessage, WireError> {
         return Err(WireError::BadLength);
     }
     Ok(DataMessage { src, dst, avoid, payload })
+}
+
+/// The message discriminant of a [`MessageView`], known from one header
+/// byte without touching the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageType {
+    /// HELLO (link sensing, §6).
+    Hello,
+    /// TC (topology control, §9).
+    Tc,
+    /// MID (interface association, §5).
+    Mid,
+    /// HNA (host and network association, §12).
+    Hna,
+    /// Unicast data-plane message (this reproduction's addition).
+    Data,
+}
+
+/// One message's header fields plus the location of its still-encoded body,
+/// yielded by [`PacketView::messages`].
+#[derive(Debug, Clone, Copy)]
+pub struct MessageView {
+    /// Message discriminant.
+    pub kind: MessageType,
+    /// Validity time of the carried information.
+    pub vtime: trustlink_sim::SimDuration,
+    /// Main address of the originating node.
+    pub originator: NodeId,
+    /// Remaining hop budget.
+    pub ttl: u8,
+    /// Hops travelled so far.
+    pub hop_count: u8,
+    /// Message sequence number.
+    pub seq: SequenceNumber,
+    /// Body byte range within the frame the view was parsed from.
+    body: (usize, usize),
+}
+
+fn be16(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+
+/// A fully validated, zero-materialization view over an encoded packet.
+///
+/// [`PacketView::parse`] performs the complete structural validation of
+/// [`decode_packet_with`] — the two accept and reject exactly the same
+/// byte strings — but builds nothing: no vectors, no arena traffic.
+/// [`PacketView::messages`] then yields header views, and only the
+/// messages a receiver actually needs are decoded, individually, through
+/// [`materialize_message`]. This is the workhorse of the batched receive
+/// path: the dominant reception at scale is a flood copy that has already
+/// been forwarded or suppressed, and its fate is decided entirely from
+/// `(originator, seq, ttl)` — header bytes — without ever decoding the
+/// body it would have thrown away.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> PacketView<'a> {
+    /// Validates `buf` as a complete packet.
+    ///
+    /// # Errors
+    ///
+    /// Rejects exactly the inputs [`decode_packet`] rejects, with the same
+    /// [`WireError`].
+    pub fn parse(buf: &'a [u8]) -> Result<Self, WireError> {
+        if buf.len() < PACKET_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let declared = be16(buf, 0) as usize;
+        if declared < PACKET_HEADER_LEN {
+            return Err(WireError::BadLength);
+        }
+        match declared.cmp(&buf.len()) {
+            std::cmp::Ordering::Greater => return Err(WireError::Truncated),
+            std::cmp::Ordering::Less => return Err(WireError::BadLength),
+            std::cmp::Ordering::Equal => {}
+        }
+        let mut off = PACKET_HEADER_LEN;
+        while off < buf.len() {
+            if buf.len() - off < MESSAGE_HEADER_LEN {
+                return Err(WireError::Truncated);
+            }
+            let msg_type = buf[off];
+            let size = be16(buf, off + 2) as usize;
+            if size < MESSAGE_HEADER_LEN {
+                return Err(WireError::BadLength);
+            }
+            if size > buf.len() - off {
+                return Err(WireError::Truncated);
+            }
+            let body = &buf[off + MESSAGE_HEADER_LEN..off + size];
+            match msg_type {
+                MSG_HELLO => validate_hello(body)?,
+                MSG_TC => {
+                    if body.len() < 4 {
+                        return Err(WireError::Truncated);
+                    }
+                    if !(body.len() - 4).is_multiple_of(2) {
+                        return Err(WireError::BadLength);
+                    }
+                }
+                MSG_MID => {
+                    if !body.len().is_multiple_of(2) {
+                        return Err(WireError::BadLength);
+                    }
+                }
+                MSG_HNA => {
+                    if !body.len().is_multiple_of(4) {
+                        return Err(WireError::BadLength);
+                    }
+                }
+                MSG_DATA => {
+                    if body.len() < 8 {
+                        return Err(WireError::Truncated);
+                    }
+                    let plen = be16(body, 6) as usize;
+                    match plen.cmp(&(body.len() - 8)) {
+                        std::cmp::Ordering::Greater => return Err(WireError::Truncated),
+                        std::cmp::Ordering::Less => return Err(WireError::BadLength),
+                        std::cmp::Ordering::Equal => {}
+                    }
+                }
+                other => return Err(WireError::UnknownMessageType(other)),
+            }
+            off += size;
+        }
+        Ok(PacketView { buf })
+    }
+
+    /// The packet sequence number.
+    pub fn seq(&self) -> SequenceNumber {
+        SequenceNumber(be16(self.buf, 2))
+    }
+
+    /// Header views of the packet's messages, in wire order.
+    pub fn messages(&self) -> MessageViewIter<'a> {
+        MessageViewIter { buf: self.buf, off: PACKET_HEADER_LEN }
+    }
+}
+
+fn validate_hello(body: &[u8]) -> Result<(), WireError> {
+    if body.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let mut off = 4;
+    while off < body.len() {
+        if body.len() - off < 4 {
+            return Err(WireError::Truncated);
+        }
+        let size = be16(body, off + 2) as usize;
+        if size < 4 || !(size - 4).is_multiple_of(2) {
+            return Err(WireError::BadLength);
+        }
+        if size > body.len() - off {
+            return Err(WireError::Truncated);
+        }
+        off += size;
+    }
+    Ok(())
+}
+
+/// Iterator over a validated packet's message headers.
+#[derive(Debug)]
+pub struct MessageViewIter<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl Iterator for MessageViewIter<'_> {
+    type Item = MessageView;
+
+    fn next(&mut self) -> Option<MessageView> {
+        if self.off >= self.buf.len() {
+            return None;
+        }
+        let o = self.off;
+        let buf = self.buf;
+        let kind = match buf[o] {
+            MSG_HELLO => MessageType::Hello,
+            MSG_TC => MessageType::Tc,
+            MSG_MID => MessageType::Mid,
+            MSG_HNA => MessageType::Hna,
+            MSG_DATA => MessageType::Data,
+            other => unreachable!("type {other} survived PacketView::parse"),
+        };
+        let size = be16(buf, o + 2) as usize;
+        self.off = o + size;
+        Some(MessageView {
+            kind,
+            vtime: decode_vtime(buf[o + 1]),
+            originator: NodeId(be16(buf, o + 4)),
+            ttl: buf[o + 6],
+            hop_count: buf[o + 7],
+            seq: SequenceNumber(be16(buf, o + 8)),
+            body: (o + MESSAGE_HEADER_LEN, o + size),
+        })
+    }
+}
+
+/// Decodes the single message behind `view` into an owned [`Message`],
+/// drawing vectors from `arena` exactly like [`decode_packet_with`] and
+/// sharing the frame's storage for data payloads. Return it with
+/// [`DecodeArena::recycle_message`] when done.
+///
+/// # Panics
+///
+/// `view` must come from a successful [`PacketView::parse`] of this same
+/// `frame`; the body was then already validated, so decoding cannot fail.
+/// Panics if the contract is violated.
+pub fn materialize_message(arena: &mut DecodeArena, frame: &Bytes, view: &MessageView) -> Message {
+    let mut body = frame.slice(view.body.0..view.body.1);
+    let body = match view.kind {
+        MessageType::Hello => MessageBody::Hello(
+            decode_hello(arena, &mut body).expect("body validated by PacketView::parse"),
+        ),
+        MessageType::Tc => MessageBody::Tc(
+            decode_tc(arena, &mut body).expect("body validated by PacketView::parse"),
+        ),
+        MessageType::Mid => MessageBody::Mid(
+            decode_mid(arena, &mut body).expect("body validated by PacketView::parse"),
+        ),
+        MessageType::Hna => MessageBody::Hna(
+            decode_hna(arena, &mut body).expect("body validated by PacketView::parse"),
+        ),
+        MessageType::Data => {
+            MessageBody::Data(decode_data(&mut body).expect("body validated by PacketView::parse"))
+        }
+    };
+    Message {
+        vtime: view.vtime,
+        originator: view.originator,
+        ttl: view.ttl,
+        hop_count: view.hop_count,
+        seq: view.seq,
+        body,
+    }
 }
 
 #[cfg(test)]

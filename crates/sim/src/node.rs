@@ -67,8 +67,73 @@ pub trait Application: Any {
     /// Called when a radio frame transmitted by `from` reaches this node.
     fn on_receive(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _payload: Bytes) {}
 
+    /// Called under [`DeliveryMode::Batched`](crate::engine::DeliveryMode)
+    /// with every frame that reached this node at one instant. The frames
+    /// are ordered exactly as the per-frame oracle would have delivered
+    /// them (global scheduling order), so the default implementation —
+    /// replaying them one by one through [`Application::on_receive`] — is
+    /// observably identical to per-frame delivery. Protocols override this
+    /// to amortize per-packet setup (decode arenas, freshness sweeps)
+    /// across the whole batch.
+    fn on_receive_batch(&mut self, ctx: &mut Context<'_>, batch: &mut FrameBatch) {
+        for (from, payload) in batch.drain() {
+            self.on_receive(ctx, from, payload);
+        }
+    }
+
     /// Called when a timer armed with [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: TimerToken) {}
+}
+
+/// Every frame that arrived at one receiver at one delivery instant, in
+/// global scheduling order.
+///
+/// Payloads are [`Bytes`] views into the senders' encoded frame storage —
+/// coalescing copies nothing. Batches are pooled by the engine: the backing
+/// vector is recycled across deliveries, so steady-state batched dispatch
+/// performs no allocation.
+#[derive(Debug, Default)]
+pub struct FrameBatch {
+    frames: Vec<(NodeId, Bytes)>,
+}
+
+impl FrameBatch {
+    /// Appends one frame. Engine-internal; applications only consume.
+    pub(crate) fn push(&mut self, from: NodeId, payload: Bytes) {
+        self.frames.push((from, payload));
+    }
+
+    /// Number of frames in the batch.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` if the batch holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The frames in delivery order, without consuming them.
+    pub fn frames(&self) -> &[(NodeId, Bytes)] {
+        &self.frames
+    }
+
+    /// Drains the frames in delivery order. The backing capacity is kept so
+    /// the engine can recycle it.
+    pub fn drain(&mut self) -> impl Iterator<Item = (NodeId, Bytes)> + '_ {
+        self.frames.drain(..)
+    }
+
+    /// Empties the batch, keeping capacity.
+    pub(crate) fn clear(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Per-frame admission filter used by the engine (collision window,
+    /// traffic accounting).
+    pub(crate) fn retain(&mut self, f: impl FnMut(&(NodeId, Bytes)) -> bool) {
+        self.frames.retain(f);
+    }
 }
 
 /// A side effect requested by an application; executed by the engine after

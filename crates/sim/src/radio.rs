@@ -247,6 +247,18 @@ pub struct LinkOverride {
     pub loss: f64,
     /// Extra delay added to every frame delivered over this edge.
     pub extra_delay: SimDuration,
+    /// Upper bound of extra uniform per-frame delay in `[0, jitter]` on this
+    /// edge, drawn from the link's private RNG stream (after the loss draw,
+    /// so enabling jitter never changes which frames are lost). Zero draws
+    /// nothing: a zero-jitter override is byte-identical to one built before
+    /// this field existed.
+    pub jitter: SimDuration,
+}
+
+impl Default for LinkOverride {
+    fn default() -> Self {
+        LinkOverride { loss: 0.0, extra_delay: SimDuration::ZERO, jitter: SimDuration::ZERO }
+    }
 }
 
 /// Per-link channel model layered on top of the uniform [`RadioConfig`].
@@ -392,7 +404,9 @@ impl ChannelState {
         };
         let key = link_key(from, to);
         let overrides = self.model.overrides.get(&key).copied();
-        let needs_state = self.model.fading.is_some() || overrides.is_some_and(|o| o.loss > 0.0);
+        let needs_state = self.model.fading.is_some()
+            || overrides.is_some_and(|o| o.loss > 0.0 || !o.jitter.is_zero());
+        let mut link_jitter = SimDuration::ZERO;
         if needs_state {
             let seed = self.seed;
             let link = self.links.entry(key).or_insert_with(|| LinkFade::new(seed, key));
@@ -410,11 +424,15 @@ impl ChannelState {
                 if o.loss > 0.0 && link.rng.random_bool(o.loss) {
                     return DeliveryOutcome::Lost;
                 }
+                if !o.jitter.is_zero() {
+                    link_jitter =
+                        SimDuration::from_micros(link.rng.random_range(0..=o.jitter.as_micros()));
+                }
             }
         }
         match overrides {
-            Some(o) if !o.extra_delay.is_zero() => {
-                DeliveryOutcome::Deliver(base_delay + o.extra_delay)
+            Some(o) if !o.extra_delay.is_zero() || !link_jitter.is_zero() => {
+                DeliveryOutcome::Deliver(base_delay + o.extra_delay + link_jitter)
             }
             _ => base,
         }
@@ -639,7 +657,8 @@ mod tests {
         cfg.jitter = SimDuration::ZERO;
         let (tx, rx) = near();
         let mut g = rng();
-        let slow = LinkOverride { loss: 0.0, extra_delay: SimDuration::from_millis(40) };
+        let slow =
+            LinkOverride { extra_delay: SimDuration::from_millis(40), ..LinkOverride::default() };
         let model = ChannelModel::new().with_link(NodeId(0), NodeId(1), slow);
         let mut ch = ChannelState::new(model, 7);
         match ch.judge(&cfg, NodeId(0), NodeId(1), tx, rx, &mut g) {
@@ -654,7 +673,7 @@ mod tests {
             other => panic!("expected delivery, got {other:?}"),
         }
         // A lossy override thins deliveries on its edge only.
-        let bad = LinkOverride { loss: 0.5, extra_delay: SimDuration::ZERO };
+        let bad = LinkOverride { loss: 0.5, ..LinkOverride::default() };
         let model = ChannelModel::new().with_link(NodeId(0), NodeId(1), bad);
         let mut ch = ChannelState::new(model, 7);
         let delivered = (0..2_000)
@@ -680,7 +699,7 @@ mod tests {
         let _ = ChannelModel::new().with_link(
             NodeId(0),
             NodeId(1),
-            LinkOverride { loss: -0.1, extra_delay: SimDuration::ZERO },
+            LinkOverride { loss: -0.1, ..LinkOverride::default() },
         );
     }
 }

@@ -1,0 +1,113 @@
+//! Allocation-regression guard for the batched frame pipeline.
+//!
+//! The coalesced delivery path is built entirely from recycled storage:
+//! the frame heap, the batch slab, per-node pending-batch lists, the
+//! open-instant map and the grid scratch buffers all reach a fixed point
+//! during warm-up. After that, delivering a batch must allocate NOTHING —
+//! zero calls into the global allocator per delivered batch, not "few".
+//! A counting `#[global_allocator]` pins that: if a future change sneaks a
+//! per-delivery `Vec`, `Box` or hash-map growth into the hot path, this
+//! test fails with the exact count.
+//!
+//! The application under test is a deliberately allocation-free beacon
+//! (payload cloned from a shared `Bytes`, default batch drain, no logs):
+//! the guard measures the *engine's* steady state, not the protocol's.
+#![allow(unsafe_code)] // the counting global allocator is the whole point
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use trustlink_sim::prelude::*;
+use trustlink_sim::{topologies, Application, TimerToken};
+
+struct Counting;
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump;
+// every allocator contract obligation is `System`'s own.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds `alloc`'s contract; forwarded unchanged.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller upholds `dealloc`'s contract; forwarded unchanged.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds `realloc`'s contract; forwarded unchanged.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+const TICK: TimerToken = TimerToken(1);
+
+/// Broadcasts a fixed frame every 100 ms; receives through the default
+/// batch drain. Steady state touches no heap: `Bytes::clone` is a
+/// refcount bump and the timer re-arm reuses the warmed event heap.
+struct Beacon {
+    payload: Bytes,
+}
+
+impl Application for Beacon {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Stagger starts so deliveries spread across distinct instants and
+        // the batch slab warms to its true working-set size.
+        let off = SimDuration::from_micros(u64::from(ctx.id().0) * 397);
+        ctx.set_timer(off, TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        if timer == TICK {
+            ctx.broadcast(self.payload.clone());
+            ctx.set_timer(SimDuration::from_millis(100), TICK);
+        }
+    }
+}
+
+#[test]
+fn steady_state_batched_delivery_allocates_nothing() {
+    let n = 256;
+    let arena = topologies::arena_for_mean_degree(n, 150.0, 10.0);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let positions = topologies::random_geometric(n, &arena, &mut rng);
+    let payload = Bytes::from_static(&[0u8; 64]);
+    let mut sim = SimulatorBuilder::new(1)
+        .arena(arena)
+        .radio(RadioConfig::unit_disk(150.0))
+        .scan_mode(ScanMode::Grid)
+        .delivery_mode(DeliveryMode::Batched)
+        .expected_nodes(n)
+        .build();
+    for &p in &positions {
+        sim.add_node(Box::new(Beacon { payload: payload.clone() }), p);
+    }
+
+    // Warm-up: grow every heap, slab and scratch buffer to its working set.
+    sim.run_for(SimDuration::from_secs(5));
+    let delivered_before: u64 = (0..n).map(|i| sim.stats().node(NodeId(i as u16)).received).sum();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    sim.run_for(SimDuration::from_secs(5));
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+
+    let delivered: u64 =
+        (0..n).map(|i| sim.stats().node(NodeId(i as u16)).received).sum::<u64>() - delivered_before;
+    assert!(
+        delivered > 100_000,
+        "measurement window too quiet to be meaningful: {delivered} deliveries"
+    );
+    assert_eq!(
+        during, 0,
+        "batched delivery allocated {during} times across {delivered} deliveries; \
+         the steady-state pipeline must not touch the allocator at all"
+    );
+}

@@ -76,20 +76,29 @@ fn finite_f64() -> impl Strategy<Value = f64> {
 fn log_record() -> impl Strategy<Value = LogRecord> {
     prop_oneof![
         (node_id(), willingness(), node_list(), node_list()).prop_map(
-            |(from, willingness, sym, asym)| LogRecord::HelloRx { from, willingness, sym, asym }
+            |(from, willingness, sym, asym)| LogRecord::HelloRx {
+                from,
+                willingness,
+                sym: sym.into(),
+                asym: asym.into()
+            }
         ),
         (node_id(), node_id(), any::<u16>(), node_list()).prop_map(
             |(originator, sender, ansn, advertised)| LogRecord::TcRx {
                 originator,
                 sender,
                 ansn,
-                advertised
+                advertised: advertised.into()
             }
         ),
-        (node_id(), node_list())
-            .prop_map(|(originator, aliases)| LogRecord::MidRx { originator, aliases }),
-        (node_id(), networks())
-            .prop_map(|(originator, networks)| LogRecord::HnaRx { originator, networks }),
+        (node_id(), node_list()).prop_map(|(originator, aliases)| LogRecord::MidRx {
+            originator,
+            aliases: aliases.into()
+        }),
+        (node_id(), networks()).prop_map(|(originator, networks)| LogRecord::HnaRx {
+            originator,
+            networks: networks.into()
+        }),
         node_id().prop_map(|neighbor| LogRecord::LinkSymmetric { neighbor }),
         node_id().prop_map(|neighbor| LogRecord::LinkAsymmetric { neighbor }),
         node_id().prop_map(|neighbor| LogRecord::LinkLost { neighbor }),
@@ -97,7 +106,7 @@ fn log_record() -> impl Strategy<Value = LogRecord> {
         node_id().prop_map(|addr| LogRecord::NeighborLost { addr }),
         (node_id(), node_id()).prop_map(|(via, addr)| LogRecord::TwoHopAdded { via, addr }),
         (node_id(), node_id()).prop_map(|(via, addr)| LogRecord::TwoHopLost { via, addr }),
-        node_list().prop_map(|mprs| LogRecord::MprSet { mprs }),
+        node_list().prop_map(|mprs| LogRecord::MprSet { mprs: mprs.into() }),
         node_id().prop_map(|addr| LogRecord::MprSelectorAdded { addr }),
         node_id().prop_map(|addr| LogRecord::MprSelectorLost { addr }),
         (node_id(), node_id(), any::<u32>())
