@@ -69,11 +69,20 @@ impl LiarPolicy {
     /// nodes forward the abstention; liars convert it into whatever serves
     /// them: a cover-up answers `true`, an inverter asserts the opposite of
     /// the most likely truth (`false` knowledge ⇒ claim `true`).
+    ///
+    /// `rng` may be `None` when [`LiarPolicy::draws_rng`] is `false`; the
+    /// caller keeps its deterministic RNG untouched for rng-free policies so
+    /// the sharded engine can run the answering callback without RNG access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probabilistic policy is asked to answer without an RNG,
+    /// or carries a probability outside `[0, 1]`.
     pub fn answer_opt(
         &self,
         truthful: Option<bool>,
         suspect: NodeId,
-        rng: &mut StdRng,
+        rng: Option<&mut StdRng>,
     ) -> Option<bool> {
         match self {
             LiarPolicy::Honest => truthful,
@@ -87,6 +96,7 @@ impl LiarPolicy {
             }
             LiarPolicy::Probabilistic { probability } => {
                 assert!((0.0..=1.0).contains(probability), "lie probability must be in [0,1]");
+                let rng = rng.expect("probabilistic liar needs an RNG");
                 if rng.random_bool(*probability) {
                     Some(!truthful.unwrap_or(false))
                 } else {
@@ -94,6 +104,14 @@ impl LiarPolicy {
                 }
             }
         }
+    }
+
+    /// `true` for the policies whose answers consume the deterministic RNG
+    /// stream. The detector consults this before touching [`rand`] state so
+    /// that rng-free policies keep its receive path eligible for parallel
+    /// (sharded) execution.
+    pub fn draws_rng(&self) -> bool {
+        matches!(self, LiarPolicy::Probabilistic { .. })
     }
 
     /// `true` for any policy that can produce false answers.
@@ -166,24 +184,24 @@ mod tests {
     #[test]
     fn answer_opt_honest_preserves_abstention() {
         let mut r = rng();
-        assert_eq!(LiarPolicy::Honest.answer_opt(None, NodeId(1), &mut r), None);
-        assert_eq!(LiarPolicy::Honest.answer_opt(Some(false), NodeId(1), &mut r), Some(false));
+        assert_eq!(LiarPolicy::Honest.answer_opt(None, NodeId(1), Some(&mut r)), None);
+        assert_eq!(LiarPolicy::Honest.answer_opt(Some(false), NodeId(1), None), Some(false));
     }
 
     #[test]
     fn answer_opt_cover_overrides_abstention_for_accomplice() {
         let policy = LiarPolicy::CoverFor { accomplices: vec![NodeId(7)] };
         let mut r = rng();
-        assert_eq!(policy.answer_opt(None, NodeId(7), &mut r), Some(true));
-        assert_eq!(policy.answer_opt(Some(false), NodeId(7), &mut r), Some(true));
+        assert_eq!(policy.answer_opt(None, NodeId(7), Some(&mut r)), Some(true));
+        assert_eq!(policy.answer_opt(Some(false), NodeId(7), None), Some(true));
         // Still honest about strangers, including their abstentions.
-        assert_eq!(policy.answer_opt(None, NodeId(8), &mut r), None);
+        assert_eq!(policy.answer_opt(None, NodeId(8), None), None);
     }
 
     #[test]
     fn answer_opt_always_lie_asserts() {
         let mut r = rng();
-        assert_eq!(LiarPolicy::AlwaysLie.answer_opt(None, NodeId(1), &mut r), Some(true));
-        assert_eq!(LiarPolicy::AlwaysLie.answer_opt(Some(true), NodeId(1), &mut r), Some(false));
+        assert_eq!(LiarPolicy::AlwaysLie.answer_opt(None, NodeId(1), Some(&mut r)), Some(true));
+        assert_eq!(LiarPolicy::AlwaysLie.answer_opt(Some(true), NodeId(1), None), Some(false));
     }
 }

@@ -115,7 +115,7 @@ mod tests {
     use trustlink_olsr::message::TcMessage;
     use trustlink_sim::SimDuration;
 
-    fn tc_msg(seq: u16, ansn: u16, advertised: &[u16]) -> Message {
+    fn tc_msg(seq: u16, ansn: u16, advertised: &[u32]) -> Message {
         Message {
             vtime: SimDuration::from_secs(15),
             originator: NodeId(5),
@@ -191,7 +191,7 @@ mod tests {
             .radio(RadioConfig::unit_disk(150.0))
             .arena(trustlink_sim::Arena::new(10_000.0, 1_000.0))
             .build();
-        for i in 0..5u16 {
+        for i in 0..5u32 {
             if i == 2 {
                 sim.add_node(
                     Box::new(willingness_node(OlsrConfig::fast(), Willingness::Always)),

@@ -104,7 +104,7 @@ mod tests {
     use super::*;
     use trustlink_olsr::types::Willingness;
 
-    fn hello_with(sym: &[u16]) -> HelloMessage {
+    fn hello_with(sym: &[u32]) -> HelloMessage {
         HelloMessage {
             willingness: Willingness::Default,
             groups: vec![LinkGroup {

@@ -65,7 +65,7 @@ impl BroadcastStorm {
             // Random bogus selector set: 1-3 random low addresses.
             let n = ctx.rng().random_range(1..=3usize);
             let advertised: Vec<NodeId> =
-                (0..n).map(|_| NodeId(ctx.rng().random_range(0..16u16))).collect();
+                (0..n).map(|_| NodeId(ctx.rng().random_range(0..16u32))).collect();
             let msg = Message {
                 vtime: SimDuration::from_secs(15),
                 originator,

@@ -4,14 +4,16 @@
 //! from one region so as to replay it in another region".
 //!
 //! The out-of-band channel is modelled as a pair of shared queues
-//! (`Rc<RefCell<…>>` — the simulator is single-threaded by design); each
+//! (`Arc<Mutex<…>>` — applications must be `Send` so the sharded engine can
+//! ship them between worker threads, and wormholes never declare themselves
+//! [`Application::rng_free`], so their callbacks always run on the serial
+//! replay path in a deterministic order); each
 //! endpoint drains its inbound queue on a fast timer and re-broadcasts the
 //! tunnelled frames unchanged, keeping the original originators — exactly
 //! the "invisible" variant the paper describes.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use trustlink_olsr::node::{OlsrNode, TIMER_USER_BASE};
@@ -20,7 +22,7 @@ use trustlink_sim::{Application, Context, NodeId, SimDuration, TimerToken};
 
 const TIMER_TUNNEL_POLL: TimerToken = TimerToken(TIMER_USER_BASE + 500);
 
-type Tunnel = Rc<RefCell<VecDeque<Bytes>>>;
+type Tunnel = Arc<Mutex<VecDeque<Bytes>>>;
 
 /// One end of a wormhole. Create both ends with [`wormhole_pair`].
 pub struct WormholeEndpoint {
@@ -40,12 +42,12 @@ pub fn wormhole_pair(
     config_b: OlsrConfig,
     poll_interval: SimDuration,
 ) -> (WormholeEndpoint, WormholeEndpoint) {
-    let ab: Tunnel = Rc::new(RefCell::new(VecDeque::new()));
-    let ba: Tunnel = Rc::new(RefCell::new(VecDeque::new()));
+    let ab: Tunnel = Arc::new(Mutex::new(VecDeque::new()));
+    let ba: Tunnel = Arc::new(Mutex::new(VecDeque::new()));
     let a = WormholeEndpoint {
         inner: OlsrNode::new(config_a),
-        to_peer: Rc::clone(&ab),
-        from_peer: Rc::clone(&ba),
+        to_peer: Arc::clone(&ab),
+        from_peer: Arc::clone(&ba),
         poll_interval,
         tunneled_in: 0,
         tunneled_out: 0,
@@ -87,7 +89,7 @@ impl Application for WormholeEndpoint {
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
         if timer == TIMER_TUNNEL_POLL {
             loop {
-                let frame = self.from_peer.borrow_mut().pop_front();
+                let frame = self.from_peer.lock().unwrap().pop_front();
                 match frame {
                     Some(payload) => {
                         ctx.broadcast(payload);
@@ -103,7 +105,7 @@ impl Application for WormholeEndpoint {
     }
 
     fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
-        self.to_peer.borrow_mut().push_back(payload.clone());
+        self.to_peer.lock().unwrap().push_back(payload.clone());
         self.tunneled_out += 1;
         self.inner.on_receive(ctx, from, payload);
     }
@@ -156,9 +158,9 @@ mod tests {
         let (a, b) =
             wormhole_pair(OlsrConfig::fast(), OlsrConfig::fast(), SimDuration::from_millis(50));
         // a.to_peer is b.from_peer and vice versa.
-        a.to_peer.borrow_mut().push_back(Bytes::from_static(b"x"));
-        assert_eq!(b.from_peer.borrow().len(), 1);
-        b.to_peer.borrow_mut().push_back(Bytes::from_static(b"y"));
-        assert_eq!(a.from_peer.borrow().len(), 1);
+        a.to_peer.lock().unwrap().push_back(Bytes::from_static(b"x"));
+        assert_eq!(b.from_peer.lock().unwrap().len(), 1);
+        b.to_peer.lock().unwrap().push_back(Bytes::from_static(b"y"));
+        assert_eq!(a.from_peer.lock().unwrap().len(), 1);
     }
 }

@@ -20,7 +20,7 @@ use trustlink_trust::prelude::*;
 
 fn bench_mpr_selection(c: &mut Criterion) {
     // 20 candidates covering 60 two-hop targets with overlap.
-    let candidates: Vec<MprCandidate> = (0..20u16)
+    let candidates: Vec<MprCandidate> = (0..20u32)
         .map(|i| MprCandidate {
             addr: NodeId(i),
             willingness: Willingness::Default,
@@ -28,7 +28,7 @@ fn bench_mpr_selection(c: &mut Criterion) {
             degree: 6,
         })
         .collect();
-    let targets: Vec<NodeId> = (0..60u16).map(|i| NodeId(100 + i)).collect();
+    let targets: Vec<NodeId> = (0..60u32).map(|i| NodeId(100 + i)).collect();
     c.bench_function("mpr_selection_20c_60t", |b| {
         b.iter(|| black_box(select_mprs(black_box(&candidates), black_box(&targets))))
     });
@@ -38,7 +38,7 @@ fn bench_routing(c: &mut Criterion) {
     // A 50-node topology ring with chords.
     let mut topo = TopologySet::default();
     let until = SimTime::from_secs(1_000);
-    for i in 0..50u16 {
+    for i in 0..50u32 {
         let dests = vec![NodeId((i + 1) % 50), NodeId((i + 7) % 50)];
         topo.apply_tc(NodeId(i), 1, &dests, until, SimTime::ZERO);
     }

@@ -43,7 +43,7 @@ impl TrustGossip {
         buf.put_u8(TAG);
         buf.put_u16(u16::try_from(self.entries.len()).expect("gossip too large"));
         for (node, trust) in &self.entries {
-            buf.put_u16(node.0);
+            node.put(&mut buf);
             buf.put_i16((trust.get() * 10_000.0).round() as i16);
         }
         buf.freeze()
@@ -60,14 +60,17 @@ impl TrustGossip {
         }
         bytes.advance(1);
         let count = bytes.get_u16() as usize;
-        if bytes.remaining() != count * 4 {
-            return Err(BadGossip);
-        }
-        let mut entries = Vec::with_capacity(count);
+        let mut entries = Vec::with_capacity(count.min(1024));
         for _ in 0..count {
-            let node = NodeId(bytes.get_u16());
+            let node = NodeId::get(&mut bytes).ok_or(BadGossip)?;
+            if bytes.remaining() < 2 {
+                return Err(BadGossip);
+            }
             let trust = TrustValue::new(f64::from(bytes.get_i16()) / 10_000.0);
             entries.push((node, trust));
+        }
+        if bytes.has_remaining() {
+            return Err(BadGossip);
         }
         Ok(TrustGossip { entries })
     }

@@ -502,7 +502,7 @@ mod tests {
         SimTime::from_secs(s)
     }
 
-    fn hello(from: u16, sym: &[u16]) -> LogRecord {
+    fn hello(from: u32, sym: &[u32]) -> LogRecord {
         LogRecord::HelloRx {
             from: NodeId(from),
             willingness: Willingness::Default,

@@ -81,14 +81,14 @@ impl InvestigationMessage {
             InvestigationMessage::VerifyLinkRequest { case, suspect, contested } => {
                 buf.put_u8(1);
                 buf.put_u64(case);
-                buf.put_u16(suspect.0);
-                buf.put_u16(contested.0);
+                suspect.put(&mut buf);
+                contested.put(&mut buf);
             }
             InvestigationMessage::VerifyLinkResponse { case, suspect, witness, link_exists } => {
                 buf.put_u8(2);
                 buf.put_u64(case);
-                buf.put_u16(suspect.0);
-                buf.put_u16(witness.0);
+                suspect.put(&mut buf);
+                witness.put(&mut buf);
                 buf.put_u8(u8::from(link_exists));
             }
         }
@@ -107,8 +107,8 @@ impl InvestigationMessage {
         }
         let tag = bytes.get_u8();
         let case = bytes.get_u64();
-        let suspect = NodeId(bytes.get_u16());
-        let third = NodeId(bytes.get_u16());
+        let suspect = NodeId::get(&mut bytes).ok_or(BadInvestigationMessage)?;
+        let third = NodeId::get(&mut bytes).ok_or(BadInvestigationMessage)?;
         match tag {
             1 => {
                 if bytes.has_remaining() {

@@ -267,7 +267,7 @@ mod tests {
         SimTime::from_secs(s)
     }
 
-    fn e1(suspect: u16, at: u64) -> DetectionEvent {
+    fn e1(suspect: u32, at: u64) -> DetectionEvent {
         DetectionEvent::MprReplaced {
             replaced: vec![NodeId(99)],
             replacing: vec![NodeId(suspect)],
@@ -275,11 +275,11 @@ mod tests {
         }
     }
 
-    fn e4(suspect: u16, at: u64) -> DetectionEvent {
+    fn e4(suspect: u32, at: u64) -> DetectionEvent {
         DetectionEvent::NotCovering { mpr: NodeId(suspect), neighbor: NodeId(7), at: t(at) }
     }
 
-    fn e5(suspect: u16, at: u64) -> DetectionEvent {
+    fn e5(suspect: u32, at: u64) -> DetectionEvent {
         DetectionEvent::CoveringNonNeighbor { mpr: NodeId(suspect), claimed: NodeId(42), at: t(at) }
     }
 

@@ -22,7 +22,7 @@ use crate::types::Willingness;
 /// Extension points applied by [`crate::node::OlsrNode`] at well-defined
 /// places in the protocol state machine. All methods default to faithful
 /// behaviour.
-pub trait OlsrHooks: 'static {
+pub trait OlsrHooks: Send + 'static {
     /// Called just before a self-originated HELLO is serialized; mutate it
     /// to forge link-state information (the paper's link spoofing attack).
     fn on_hello_tx(&mut self, _hello: &mut HelloMessage, _now: SimTime) {}

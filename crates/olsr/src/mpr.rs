@@ -302,7 +302,7 @@ pub fn uncovered_targets(
 mod tests {
     use super::*;
 
-    fn cand(addr: u16, will: Willingness, covers: &[u16]) -> MprCandidate {
+    fn cand(addr: u32, will: Willingness, covers: &[u32]) -> MprCandidate {
         MprCandidate {
             addr: NodeId(addr),
             willingness: will,
@@ -311,7 +311,7 @@ mod tests {
         }
     }
 
-    fn ids(v: &[u16]) -> Vec<NodeId> {
+    fn ids(v: &[u32]) -> Vec<NodeId> {
         v.iter().map(|&x| NodeId(x)).collect()
     }
 

@@ -10,7 +10,9 @@
 
 use bytes::Bytes;
 use rand::RngExt;
-use trustlink_sim::{Application, Context, FloodStats, FrameBatch, NodeId, SimTime, TimerToken};
+use trustlink_sim::{
+    Application, CallbackClass, Context, FloodStats, FrameBatch, NodeId, SimTime, TimerToken,
+};
 
 use crate::hooks::{NoHooks, OlsrHooks};
 use crate::logging::{LogRecord, MessageKind, SuppressReason};
@@ -1210,6 +1212,18 @@ impl<H: OlsrHooks> Application for OlsrNode<H> {
         }
         self.decode_arena = arena;
     }
+
+    fn rng_free(&self, class: CallbackClass) -> bool {
+        match class {
+            // `on_start` staggers HELLO/TC timers from the engine stream.
+            CallbackClass::Start => false,
+            // Receive and timer paths never draw, and hooks cannot: the
+            // `OlsrHooks` methods take no `Context`, so the whole protocol
+            // machine is deterministic given its inputs. This is what lets
+            // the sharded engine run OLSR traffic off the main thread.
+            CallbackClass::Receive | CallbackClass::Timer => true,
+        }
+    }
 }
 
 impl<H: OlsrHooks> std::fmt::Debug for OlsrNode<H> {
@@ -1534,7 +1548,7 @@ mod tests {
             sim.run_for(SimDuration::from_secs(20));
             sim
         };
-        let heard_n1 = |sim: &trustlink_sim::Simulator, id: u16| {
+        let heard_n1 = |sim: &trustlink_sim::Simulator, id: u32| {
             sim.log(NodeId(id)).lines().any(|l| l.starts_with("TC_RX orig=N1"))
         };
         let classic = run(crate::types::FloodScope::Classic);

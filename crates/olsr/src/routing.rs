@@ -22,7 +22,7 @@ const UNVISITED: u32 = u32::MAX;
 /// Route calculation runs after every topology-changing packet; the
 /// original implementation rebuilt `BTreeMap` adjacency and BFS state per
 /// call. The workspace keeps dense per-node-id buffers (node ids are
-/// small `u16`s) that survive across recomputations, so the steady-state
+/// small `u32`s) that survive across recomputations, so the steady-state
 /// path allocates only the resulting table.
 #[derive(Debug, Clone, Default)]
 pub struct RoutingWorkspace {
@@ -30,7 +30,7 @@ pub struct RoutingWorkspace {
     /// each computation.
     adj: Vec<Vec<NodeId>>,
     /// Ids whose adjacency list is non-empty, for cheap clearing.
-    touched: Vec<u16>,
+    touched: Vec<u32>,
     /// BFS hop counts, [`UNVISITED`] when unreached.
     dist: Vec<u32>,
     /// First hop toward each reached id.
@@ -80,7 +80,7 @@ pub struct Route {
 /// A freshly computed routing table.
 ///
 /// Backed by a `Vec<Route>` sorted by destination (node ids are dense
-/// `u16`s): lookups are binary searches, iteration is a slice walk, and a
+/// `u32`s): lookups are binary searches, iteration is a slice walk, and a
 /// table can be recomputed *into* an existing allocation
 /// ([`RoutingTable::compute_avoiding_into`]) so the steady-state recompute
 /// path allocates nothing once warm.
@@ -230,7 +230,7 @@ impl RoutingTable {
         out.routes.clear();
         for i in 0..n {
             let hops = ws.dist[i];
-            let dest = NodeId(i as u16);
+            let dest = NodeId(i as u32);
             if hops == UNVISITED || dest == me {
                 continue;
             }
@@ -335,7 +335,7 @@ impl RoutingDiff {
 mod tests {
     use super::*;
 
-    fn topo(entries: &[(u16, u16)]) -> TopologySet {
+    fn topo(entries: &[(u32, u32)]) -> TopologySet {
         let mut set = TopologySet::default();
         for (i, &(last_hop, dest)) in entries.iter().enumerate() {
             // Distinct originators may repeat; use one ANSN per last_hop.
@@ -345,7 +345,7 @@ mod tests {
         set
     }
 
-    fn topo_multi(entries: &[(u16, &[u16])]) -> TopologySet {
+    fn topo_multi(entries: &[(u32, &[u32])]) -> TopologySet {
         let mut set = TopologySet::default();
         for &(last_hop, dests) in entries {
             let dests: Vec<NodeId> = dests.iter().map(|&d| NodeId(d)).collect();

@@ -371,7 +371,7 @@ impl TwoHopSet {
     /// allocating (ascending; the keyspace is range-scanned).
     pub fn iter_via(&self, via: NodeId, now: SimTime) -> impl Iterator<Item = NodeId> + '_ {
         self.tuples
-            .range((via, NodeId(0))..=(via, NodeId(u16::MAX)))
+            .range((via, NodeId(0))..=(via, NodeId(u32::MAX)))
             .filter(move |(_, &until)| until > now)
             .map(|(&(_, th), _)| th)
     }
@@ -512,7 +512,7 @@ impl TopologySet {
     /// this keeps the ANSN staleness check independent of purge timing.
     pub fn ansn_of(&self, last_hop: NodeId, now: SimTime) -> Option<u16> {
         self.tuples
-            .range((last_hop, NodeId(0))..=(last_hop, NodeId(u16::MAX)))
+            .range((last_hop, NodeId(0))..=(last_hop, NodeId(u32::MAX)))
             .filter(|(_, t)| t.until > now)
             .map(|(_, t)| t.ansn)
             .next()
@@ -623,26 +623,28 @@ pub struct DuplicateSet {
     min_expiry: MinExpiry,
 }
 
-/// One open-addressing slot: 16 bytes, so a 64-byte cache line holds four.
+/// One open-addressing slot: 24 bytes, so a 64-byte cache line still
+/// covers the typical one-slot probe.
 #[derive(Debug, Clone, Copy)]
 struct DupSlot {
     /// Expiry; zero marks the slot free.
     until: SimTime,
-    /// `(originator << 16) | seq` — the full key, no ambiguity.
-    key: u32,
+    /// `(originator << 16) | seq` — the full key, no ambiguity (the
+    /// 32-bit originator id needs the u64 now that ids reach past 2¹⁶).
+    key: u64,
     retransmitted: bool,
 }
 
 const DUP_EMPTY: DupSlot = DupSlot { until: SimTime::ZERO, key: 0, retransmitted: false };
 
-fn dup_key(originator: NodeId, seq: SequenceNumber) -> u32 {
-    (u32::from(originator.0) << 16) | u32::from(seq.0)
+fn dup_key(originator: NodeId, seq: SequenceNumber) -> u64 {
+    (u64::from(originator.0) << 16) | u64::from(seq.0)
 }
 
 /// Fibonacci multiply-shift: spreads the structured `(originator, seq)`
 /// key across the table's high bits.
-fn dup_hash(key: u32) -> u64 {
-    u64::from(key).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+fn dup_hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// Verdict of [`DuplicateSet::probe_flood`].
@@ -665,7 +667,7 @@ impl DuplicateSet {
     const INITIAL_SLOTS: usize = 64;
 
     /// Index of the slot holding `key`, if present (live or expired).
-    fn find(&self, key: u32) -> Option<usize> {
+    fn find(&self, key: u64) -> Option<usize> {
         if self.slots.is_empty() {
             return None;
         }

@@ -1,7 +1,12 @@
 //! Binary wire format: a faithful shrinking of RFC 3626 §3 packet/message
-//! framing. Addresses are 16-bit main addresses ([`NodeId`]) instead of
-//! 32-bit IPv4 — documented in `DESIGN.md`; nothing in the protocol logic
-//! depends on the address width.
+//! framing. Addresses are escape-encoded main addresses ([`NodeId`])
+//! instead of 32-bit IPv4 — documented in `DESIGN.md`; nothing in the
+//! protocol logic depends on the address width. Addresses below
+//! [`NodeId::WIRE_ESCAPE`] occupy the two bytes the original 16-bit
+//! format used (so every historical scenario encodes byte-for-byte
+//! identically); wider addresses encode as the escape marker plus the
+//! full 32-bit value, which is what lets 10⁵-node scenarios exist at
+//! all.
 //!
 //! Decoding is total: malformed input yields a [`WireError`], never a panic,
 //! so forged packets from attack nodes can be thrown at the parser safely.
@@ -39,8 +44,53 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 const PACKET_HEADER_LEN: usize = 4;
+/// Header length with a narrow (two-byte) originator; a wide originator
+/// adds four bytes, discovered while parsing.
 const MESSAGE_HEADER_LEN: usize = 10;
+/// Bare sentinel for "no avoid constraint" in data messages, kept at the
+/// historical two-byte `0xFFFF`. Because that value collides with the
+/// address escape marker, the avoid field uses `0xFFFE` as *its* escape:
+/// real addresses below `0xFFFE` encode bare, anything wider (including
+/// `0xFFFE` itself) escapes to the 32-bit form.
 const NO_AVOID: u16 = u16::MAX;
+const AVOID_ESCAPE: u16 = u16::MAX - 1;
+
+fn put_avoid(buf: &mut Vec<u8>, avoid: Option<NodeId>) {
+    match avoid {
+        None => buf.put_u16(NO_AVOID),
+        Some(n) if n.0 < u32::from(AVOID_ESCAPE) => buf.put_u16(n.0 as u16),
+        Some(n) => {
+            buf.put_u16(AVOID_ESCAPE);
+            buf.put_u32(n.0);
+        }
+    }
+}
+
+fn get_avoid(bytes: &mut Bytes) -> Result<Option<NodeId>, WireError> {
+    if bytes.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    match bytes.get_u16() {
+        NO_AVOID => Ok(None),
+        AVOID_ESCAPE => {
+            if bytes.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            Ok(Some(NodeId(bytes.get_u32())))
+        }
+        v => Ok(Some(NodeId(u32::from(v)))),
+    }
+}
+
+fn get_addr(bytes: &mut Bytes) -> Result<NodeId, WireError> {
+    NodeId::get(bytes).ok_or(WireError::Truncated)
+}
+
+/// Walks one escape-encoded address in a raw slice during structural
+/// validation; `None` when the slice ends inside the address.
+fn skip_addr(buf: &[u8], off: usize) -> Option<usize> {
+    NodeId::read_at(buf, off).map(|(_, n)| off + n)
+}
 
 const MSG_HELLO: u8 = 1;
 const MSG_TC: u8 = 2;
@@ -88,7 +138,7 @@ fn encode_message(buf: &mut Vec<u8>, msg: &Message) {
     buf.put_u8(msg.body.type_byte());
     buf.put_u8(encode_vtime(msg.vtime));
     buf.put_u16(0); // size placeholder
-    buf.put_u16(msg.originator.0);
+    msg.originator.put(buf);
     buf.put_u8(msg.ttl);
     buf.put_u8(msg.hop_count);
     buf.put_u16(msg.seq.0);
@@ -97,20 +147,20 @@ fn encode_message(buf: &mut Vec<u8>, msg: &Message) {
         MessageBody::Tc(t) => encode_tc(buf, t),
         MessageBody::Mid(m) => {
             for a in &m.aliases {
-                buf.put_u16(a.0);
+                a.put(buf);
             }
         }
         MessageBody::Hna(h) => {
             for (net, prefix) in &h.networks {
-                buf.put_u16(net.0);
+                net.put(buf);
                 buf.put_u8(*prefix);
                 buf.put_u8(0);
             }
         }
         MessageBody::Data(d) => {
-            buf.put_u16(d.src.0);
-            buf.put_u16(d.dst.0);
-            buf.put_u16(d.avoid.map_or(NO_AVOID, |n| n.0));
+            d.src.put(buf);
+            d.dst.put(buf);
+            put_avoid(buf, d.avoid);
             let plen = u16::try_from(d.payload.len()).expect("payload too large");
             buf.put_u16(plen);
             buf.put_slice(&d.payload);
@@ -127,10 +177,11 @@ fn encode_hello(buf: &mut Vec<u8>, h: &HelloMessage) {
     for group in &h.groups {
         buf.put_u8(group.code.to_wire());
         buf.put_u8(0); // reserved
-        let size = u16::try_from(4 + group.addrs.len() * 2).expect("group too large");
+        let addr_bytes: usize = group.addrs.iter().map(|a| a.wire_len()).sum();
+        let size = u16::try_from(4 + addr_bytes).expect("group too large");
         buf.put_u16(size);
         for a in &group.addrs {
-            buf.put_u16(a.0);
+            a.put(buf);
         }
     }
 }
@@ -139,7 +190,7 @@ fn encode_tc(buf: &mut Vec<u8>, t: &TcMessage) {
     buf.put_u16(t.ansn);
     buf.put_u16(0); // reserved
     for a in &t.advertised {
-        buf.put_u16(a.0);
+        a.put(buf);
     }
 }
 
@@ -278,14 +329,19 @@ fn decode_message(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<Message,
     let msg_type = bytes.get_u8();
     let vtime = decode_vtime(bytes.get_u8());
     let size = bytes.get_u16() as usize;
-    let originator = NodeId(bytes.get_u16());
+    let originator = get_addr(bytes)?;
+    if bytes.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
     let ttl = bytes.get_u8();
     let hop_count = bytes.get_u8();
     let seq = SequenceNumber(bytes.get_u16());
-    if size < MESSAGE_HEADER_LEN {
+    // type + vtime + size, the escape-encoded originator, ttl + hops + seq.
+    let header_len = 4 + originator.wire_len() + 4;
+    if size < header_len {
         return Err(WireError::BadLength);
     }
-    let body_len = size - MESSAGE_HEADER_LEN;
+    let body_len = size - header_len;
     if bytes.remaining() < body_len {
         return Err(WireError::Truncated);
     }
@@ -304,11 +360,8 @@ fn decode_message(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<Message,
 fn decode_mid(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<MidMessage, WireError> {
     let mut aliases = arena.take_addrs();
     aliases.reserve(bytes.remaining() / 2);
-    while bytes.remaining() >= 2 {
-        aliases.push(NodeId(bytes.get_u16()));
-    }
-    if bytes.has_remaining() {
-        return Err(WireError::BadLength);
+    while bytes.has_remaining() {
+        aliases.push(get_addr(bytes)?);
     }
     Ok(MidMessage { aliases })
 }
@@ -316,14 +369,14 @@ fn decode_mid(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<MidMessage, 
 fn decode_hna(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<HnaMessage, WireError> {
     let mut networks = arena.take_nets();
     networks.reserve(bytes.remaining() / 4);
-    while bytes.remaining() >= 4 {
-        let net = NodeId(bytes.get_u16());
+    while bytes.has_remaining() {
+        let net = get_addr(bytes)?;
+        if bytes.remaining() < 2 {
+            return Err(WireError::Truncated);
+        }
         let prefix = bytes.get_u8();
         let _reserved = bytes.get_u8();
         networks.push((net, prefix));
-    }
-    if bytes.has_remaining() {
-        return Err(WireError::BadLength);
     }
     Ok(HnaMessage { networks })
 }
@@ -343,17 +396,18 @@ fn decode_hello(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<HelloMessa
         let code = LinkCode::from_wire(bytes.get_u8());
         let _reserved = bytes.get_u8();
         let size = bytes.get_u16() as usize;
-        if size < 4 || !(size - 4).is_multiple_of(2) {
+        if size < 4 {
             return Err(WireError::BadLength);
         }
         let addr_bytes = size - 4;
         if bytes.remaining() < addr_bytes {
             return Err(WireError::Truncated);
         }
+        let mut group_body = bytes.split_to(addr_bytes);
         let mut addrs = arena.take_addrs();
         addrs.reserve(addr_bytes / 2);
-        for _ in 0..addr_bytes / 2 {
-            addrs.push(NodeId(bytes.get_u16()));
+        while group_body.has_remaining() {
+            addrs.push(get_addr(&mut group_body)?);
         }
         groups.push(LinkGroup { code, addrs });
     }
@@ -368,11 +422,8 @@ fn decode_tc(arena: &mut DecodeArena, bytes: &mut Bytes) -> Result<TcMessage, Wi
     let _reserved = bytes.get_u16();
     let mut advertised = arena.take_addrs();
     advertised.reserve(bytes.remaining() / 2);
-    while bytes.remaining() >= 2 {
-        advertised.push(NodeId(bytes.get_u16()));
-    }
-    if bytes.has_remaining() {
-        return Err(WireError::BadLength);
+    while bytes.has_remaining() {
+        advertised.push(get_addr(bytes)?);
     }
     Ok(TcMessage { ansn, advertised })
 }
@@ -381,10 +432,12 @@ fn decode_data(bytes: &mut Bytes) -> Result<DataMessage, WireError> {
     if bytes.remaining() < 8 {
         return Err(WireError::Truncated);
     }
-    let src = NodeId(bytes.get_u16());
-    let dst = NodeId(bytes.get_u16());
-    let avoid_raw = bytes.get_u16();
-    let avoid = if avoid_raw == NO_AVOID { None } else { Some(NodeId(avoid_raw)) };
+    let src = get_addr(bytes)?;
+    let dst = get_addr(bytes)?;
+    let avoid = get_avoid(bytes)?;
+    if bytes.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
     let plen = bytes.get_u16() as usize;
     if bytes.remaining() < plen {
         return Err(WireError::Truncated);
@@ -480,44 +533,38 @@ impl<'a> PacketView<'a> {
             }
             let msg_type = buf[off];
             let size = be16(buf, off + 2) as usize;
-            if size < MESSAGE_HEADER_LEN {
+            // Walk the escape-encoded originator to find the true header
+            // length, mirroring the decoder's read sequence (and errors)
+            // exactly.
+            let Some((_, alen)) = NodeId::read_at(buf, off + 4) else {
+                return Err(WireError::Truncated);
+            };
+            let header_len = 4 + alen + 4;
+            if buf.len() - off < header_len {
+                return Err(WireError::Truncated);
+            }
+            if size < header_len {
                 return Err(WireError::BadLength);
             }
             if size > buf.len() - off {
                 return Err(WireError::Truncated);
             }
-            let body = &buf[off + MESSAGE_HEADER_LEN..off + size];
+            let body = &buf[off + header_len..off + size];
             match msg_type {
                 MSG_HELLO => validate_hello(body)?,
                 MSG_TC => {
                     if body.len() < 4 {
                         return Err(WireError::Truncated);
                     }
-                    if !(body.len() - 4).is_multiple_of(2) {
-                        return Err(WireError::BadLength);
-                    }
+                    validate_addr_run(body, 4, body.len(), 0)?;
                 }
                 MSG_MID => {
-                    if !body.len().is_multiple_of(2) {
-                        return Err(WireError::BadLength);
-                    }
+                    validate_addr_run(body, 0, body.len(), 0)?;
                 }
                 MSG_HNA => {
-                    if !body.len().is_multiple_of(4) {
-                        return Err(WireError::BadLength);
-                    }
+                    validate_addr_run(body, 0, body.len(), 2)?;
                 }
-                MSG_DATA => {
-                    if body.len() < 8 {
-                        return Err(WireError::Truncated);
-                    }
-                    let plen = be16(body, 6) as usize;
-                    match plen.cmp(&(body.len() - 8)) {
-                        std::cmp::Ordering::Greater => return Err(WireError::Truncated),
-                        std::cmp::Ordering::Less => return Err(WireError::BadLength),
-                        std::cmp::Ordering::Equal => {}
-                    }
-                }
+                MSG_DATA => validate_data(body)?,
                 other => return Err(WireError::UnknownMessageType(other)),
             }
             off += size;
@@ -546,15 +593,65 @@ fn validate_hello(body: &[u8]) -> Result<(), WireError> {
             return Err(WireError::Truncated);
         }
         let size = be16(body, off + 2) as usize;
-        if size < 4 || !(size - 4).is_multiple_of(2) {
+        if size < 4 {
             return Err(WireError::BadLength);
         }
         if size > body.len() - off {
             return Err(WireError::Truncated);
         }
+        validate_addr_run(body, off + 4, off + size, 0)?;
         off += size;
     }
     Ok(())
+}
+
+/// Validates that `body[from..to]` is exactly a run of escape-encoded
+/// addresses, each followed by `trailer` fixed bytes (HNA's prefix and
+/// reserved byte), mirroring the decoders' bounded reads.
+fn validate_addr_run(body: &[u8], from: usize, to: usize, trailer: usize) -> Result<(), WireError> {
+    let mut off = from;
+    while off < to {
+        match skip_addr(&body[..to], off) {
+            Some(next) if to - next >= trailer => off = next + trailer,
+            _ => return Err(WireError::Truncated),
+        }
+    }
+    Ok(())
+}
+
+/// Validates a data-message body, mirroring [`decode_data`].
+fn validate_data(body: &[u8]) -> Result<(), WireError> {
+    if body.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let mut off = 0;
+    for _ in 0..2 {
+        match skip_addr(body, off) {
+            Some(next) => off = next,
+            None => return Err(WireError::Truncated),
+        }
+    }
+    if body.len() - off < 2 {
+        return Err(WireError::Truncated);
+    }
+    let avoid_raw = be16(body, off);
+    off += 2;
+    if avoid_raw == AVOID_ESCAPE {
+        if body.len() - off < 4 {
+            return Err(WireError::Truncated);
+        }
+        off += 4;
+    }
+    if body.len() - off < 2 {
+        return Err(WireError::Truncated);
+    }
+    let plen = be16(body, off) as usize;
+    off += 2;
+    match plen.cmp(&(body.len() - off)) {
+        std::cmp::Ordering::Greater => Err(WireError::Truncated),
+        std::cmp::Ordering::Less => Err(WireError::BadLength),
+        std::cmp::Ordering::Equal => Ok(()),
+    }
 }
 
 /// Iterator over a validated packet's message headers.
@@ -583,14 +680,16 @@ impl Iterator for MessageViewIter<'_> {
         };
         let size = be16(buf, o + 2) as usize;
         self.off = o + size;
+        let (originator, alen) =
+            NodeId::read_at(buf, o + 4).expect("originator survived PacketView::parse");
         Some(MessageView {
             kind,
             vtime: decode_vtime(buf[o + 1]),
-            originator: NodeId(be16(buf, o + 4)),
-            ttl: buf[o + 6],
-            hop_count: buf[o + 7],
-            seq: SequenceNumber(be16(buf, o + 8)),
-            body: (o + MESSAGE_HEADER_LEN, o + size),
+            originator,
+            ttl: buf[o + 4 + alen],
+            hop_count: buf[o + 5 + alen],
+            seq: SequenceNumber(be16(buf, o + 6 + alen)),
+            body: (o + 8 + alen, o + size),
         })
     }
 }
@@ -843,7 +942,7 @@ mod tests {
     }
 
     #[test]
-    fn hello_with_odd_group_size_errors() {
+    fn hello_with_dangling_half_address_errors() {
         let mut bytes = BytesMut::new();
         bytes.put_u16(0);
         bytes.put_u16(0);
@@ -858,14 +957,16 @@ mod tests {
         bytes.put_u16(0);
         bytes.put_u8(0);
         bytes.put_u8(3);
-        // group with size 5 (odd address bytes)
+        // group with size 5: one full address then a dangling half-address
+        // byte — with escape-encoded (variable length) addresses this is a
+        // truncation, not a length-arithmetic error.
         bytes.put_u8(6);
         bytes.put_u8(0);
         bytes.put_u16(5);
         bytes.put_u8(0);
         let len = bytes.len() as u16;
         bytes[0..2].copy_from_slice(&len.to_be_bytes());
-        assert_eq!(decode_packet(bytes.freeze()), Err(WireError::BadLength));
+        assert_eq!(decode_packet(bytes.freeze()), Err(WireError::Truncated));
     }
 
     #[test]

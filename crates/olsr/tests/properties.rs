@@ -22,12 +22,12 @@ fn willingness() -> impl Strategy<Value = Willingness> {
 }
 
 fn candidates() -> impl Strategy<Value = Vec<MprCandidate>> {
-    proptest::collection::vec((willingness(), proptest::collection::vec(100u16..140, 0..8)), 1..12)
+    proptest::collection::vec((willingness(), proptest::collection::vec(100u32..140, 0..8)), 1..12)
         .prop_map(|raw| {
             raw.into_iter()
                 .enumerate()
                 .map(|(i, (willingness, covers))| MprCandidate {
-                    addr: NodeId(i as u16), // unique, like a real neighbor set
+                    addr: NodeId(i as u32), // unique, like a real neighbor set
                     willingness,
                     degree: covers.len(),
                     covers: covers.into_iter().map(NodeId).collect(),
@@ -40,7 +40,7 @@ fn candidates() -> impl Strategy<Value = Vec<MprCandidate>> {
 /// input `select_mprs` must survive (coverage merges).
 fn candidates_with_duplicates() -> impl Strategy<Value = Vec<MprCandidate>> {
     proptest::collection::vec(
-        (0u16..6, willingness(), proptest::collection::vec(100u16..140, 0..8)),
+        (0u32..6, willingness(), proptest::collection::vec(100u32..140, 0..8)),
         1..12,
     )
     .prop_map(|raw| {
@@ -141,8 +141,8 @@ proptest! {
 
     #[test]
     fn routes_are_loop_free_and_first_hop_is_neighbor(
-        edges in proptest::collection::vec((0u16..12, 0u16..12), 0..40),
-        sym in proptest::collection::vec(1u16..12, 1..5),
+        edges in proptest::collection::vec((0u32..12, 0u32..12), 0..40),
+        sym in proptest::collection::vec(1u32..12, 1..5),
     ) {
         // Build an arbitrary advertised topology plus symmetric neighbors.
         let mut topo = TopologySet::default();
@@ -180,8 +180,8 @@ proptest! {
 
     #[test]
     fn avoidance_never_routes_via_avoided(
-        edges in proptest::collection::vec((0u16..10, 0u16..10), 0..30),
-        avoid in 1u16..10,
+        edges in proptest::collection::vec((0u32..10, 0u32..10), 0..30),
+        avoid in 1u32..10,
     ) {
         let mut topo = TopologySet::default();
         let until = SimTime::from_secs(1_000);
@@ -250,8 +250,8 @@ proptest! {
 
     #[test]
     fn duplicate_set_seen_iff_recorded_and_unexpired(
-        records in proptest::collection::vec((0u16..8, 0u16..16, any::<bool>()), 0..32),
-        probe_orig in 0u16..8,
+        records in proptest::collection::vec((0u32..8, 0u16..16, any::<bool>()), 0..32),
+        probe_orig in 0u32..8,
         probe_seq in 0u16..16,
     ) {
         let mut set = DuplicateSet::default();
@@ -288,7 +288,7 @@ proptest! {
 
     #[test]
     fn two_hop_vias_and_reachability_agree(
-        pairs in proptest::collection::vec((0u16..6, 10u16..20), 0..24),
+        pairs in proptest::collection::vec((0u32..6, 10u32..20), 0..24),
     ) {
         let mut set = TwoHopSet::default();
         let until = SimTime::from_secs(10);

@@ -40,7 +40,7 @@ const MAX_CELLS_PER_AXIS: usize = 128;
 /// inline so range queries stay within the bucket's cache lines.
 #[derive(Debug, Clone, Copy)]
 struct GridEntry {
-    index: u16,
+    index: u32,
     pos: Position,
 }
 
@@ -106,7 +106,7 @@ impl SpatialGrid {
     }
 
     /// `true` when node `index` is currently in the grid.
-    pub fn contains(&self, index: u16) -> bool {
+    pub fn contains(&self, index: u32) -> bool {
         self.node_cell.get(index as usize).is_some_and(|&c| c != NOT_IN_GRID)
     }
 
@@ -121,13 +121,13 @@ impl SpatialGrid {
     ///
     /// Slots must be registered in index order; `index` must equal the
     /// number of slots registered so far.
-    pub fn register_slot(&mut self, index: u16) {
+    pub fn register_slot(&mut self, index: u32) {
         debug_assert_eq!(index as usize, self.node_cell.len(), "slots registered out of order");
         self.node_cell.push(NOT_IN_GRID);
     }
 
     /// Places a registered node at `pos`. No-op if it is already indexed.
-    pub fn insert(&mut self, index: u16, pos: Position) {
+    pub fn insert(&mut self, index: u32, pos: Position) {
         if self.node_cell[index as usize] != NOT_IN_GRID {
             return;
         }
@@ -138,7 +138,7 @@ impl SpatialGrid {
 
     /// Removes a node from the index (a dead node neither transmits nor
     /// receives, so broadcasts need not consider it). No-op if absent.
-    pub fn remove(&mut self, index: u16) {
+    pub fn remove(&mut self, index: u32) {
         let cell = self.node_cell[index as usize];
         if cell == NOT_IN_GRID {
             return;
@@ -151,7 +151,7 @@ impl SpatialGrid {
 
     /// Migrates an indexed node to `pos`, moving it between cells when it
     /// crossed a border. No-op for unindexed (dead) nodes.
-    pub fn update(&mut self, index: u16, pos: Position) {
+    pub fn update(&mut self, index: u32, pos: Position) {
         let old = self.node_cell[index as usize];
         if old == NOT_IN_GRID {
             return;
@@ -168,6 +168,24 @@ impl SpatialGrid {
         self.node_cell[index as usize] = new as u32;
     }
 
+    /// The worker shard node `index` belongs to, for the sharded execution
+    /// mode: its current grid cell modulo the shard count, so co-located
+    /// nodes — the receivers of any one burst — land on the same worker.
+    /// Mobility rebalances for free: [`SpatialGrid::update`] moves the
+    /// node's cell, and with it the shard the next epoch assigns.
+    ///
+    /// Unindexed nodes (linear scan mode never inserts; dead nodes are
+    /// removed, though those receive no work anyway) fall back to a plain
+    /// round-robin over the node index.
+    pub(crate) fn shard_of(&self, index: u32, shards: usize) -> usize {
+        let cell = self.node_cell.get(index as usize).copied().unwrap_or(NOT_IN_GRID);
+        if cell == NOT_IN_GRID {
+            index as usize % shards
+        } else {
+            cell as usize % shards
+        }
+    }
+
     /// Appends to `out` the index of every indexed node within `range`
     /// metres of `pos` (inclusive), by walking the 3×3 cell neighborhood.
     /// `range` must not exceed the radio range the grid was sized for, or
@@ -175,7 +193,7 @@ impl SpatialGrid {
     ///
     /// Order is unspecified; callers needing determinism must sort
     /// (ascending node index matches the linear scan).
-    pub fn gather_within(&self, pos: Position, range: f64, out: &mut Vec<u16>) {
+    pub fn gather_within(&self, pos: Position, range: f64, out: &mut Vec<u32>) {
         debug_assert!(
             !(range.is_finite() && range > 0.0)
                 || (range <= self.cell_w + 1e-9 && range <= self.cell_h + 1e-9),
@@ -212,7 +230,7 @@ mod tests {
         SpatialGrid::new(&Arena::new(w, h), range)
     }
 
-    fn gathered(g: &SpatialGrid, pos: Position) -> Vec<u16> {
+    fn gathered(g: &SpatialGrid, pos: Position) -> Vec<u32> {
         let mut out = Vec::new();
         g.gather_within(pos, RANGE, &mut out);
         out.sort_unstable();
@@ -319,11 +337,11 @@ mod tests {
     #[test]
     fn gather_never_duplicates() {
         let mut g = grid(500.0, 500.0, RANGE);
-        for i in 0..50u16 {
+        for i in 0..50u32 {
             g.register_slot(i);
             g.insert(i, Position::new(f64::from(i) * 10.0, f64::from(i % 7) * 70.0));
         }
-        for i in 0..50u16 {
+        for i in 0..50u32 {
             let mut out = Vec::new();
             g.gather_within(
                 Position::new(f64::from(i) * 10.0, f64::from(i % 7) * 70.0),

@@ -17,17 +17,79 @@ use crate::time::{SimDuration, SimTime};
 
 /// The identity of a node: its OLSR *main address* in the reproduced system.
 ///
+/// Identities are 32-bit so production-scale scenarios (10⁵ nodes and
+/// beyond) fit; the wire stays compact through the escape encoding of
+/// [`NodeId::put`], which keeps every address below
+/// [`NodeId::WIRE_ESCAPE`] at the historical two bytes.
+///
 /// ```
 /// use trustlink_sim::NodeId;
 /// assert_eq!(NodeId(7).to_string(), "N7");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl NodeId {
     /// The numeric index of the node.
     pub const fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The 16-bit escape marker for wide addresses on the wire. Addresses
+    /// below this value encode as the bare two-byte big-endian integer —
+    /// byte-for-byte what the 16-bit format produced — while wider
+    /// addresses encode as the marker followed by the full 32-bit value.
+    pub const WIRE_ESCAPE: u16 = u16::MAX;
+
+    /// Number of bytes [`NodeId::put`] writes for this address.
+    pub const fn wire_len(self) -> usize {
+        if self.0 < Self::WIRE_ESCAPE as u32 {
+            2
+        } else {
+            6
+        }
+    }
+
+    /// Appends the escape-encoded address to `buf`.
+    pub fn put(self, buf: &mut impl bytes::BufMut) {
+        if self.0 < u32::from(Self::WIRE_ESCAPE) {
+            buf.put_u16(self.0 as u16);
+        } else {
+            buf.put_u16(Self::WIRE_ESCAPE);
+            buf.put_u32(self.0);
+        }
+    }
+
+    /// Reads one escape-encoded address from `buf`, or `None` when the
+    /// buffer is too short.
+    pub fn get(buf: &mut impl bytes::Buf) -> Option<NodeId> {
+        if buf.remaining() < 2 {
+            return None;
+        }
+        let v = buf.get_u16();
+        if v < Self::WIRE_ESCAPE {
+            Some(NodeId(u32::from(v)))
+        } else if buf.remaining() >= 4 {
+            Some(NodeId(buf.get_u32()))
+        } else {
+            None
+        }
+    }
+
+    /// Reads one escape-encoded address from `buf` at `off`, returning the
+    /// address and the number of bytes it occupied. `None` when the slice
+    /// is too short. Slice-based twin of [`NodeId::get`] for validated
+    /// zero-copy views.
+    pub fn read_at(buf: &[u8], off: usize) -> Option<(NodeId, usize)> {
+        let hi = *buf.get(off)?;
+        let lo = *buf.get(off + 1)?;
+        let v = u16::from_be_bytes([hi, lo]);
+        if v < Self::WIRE_ESCAPE {
+            Some((NodeId(u32::from(v)), 2))
+        } else {
+            let raw: [u8; 4] = buf.get(off + 2..off + 6)?.try_into().ok()?;
+            Some((NodeId(u32::from_be_bytes(raw)), 6))
+        }
     }
 }
 
@@ -50,16 +112,46 @@ impl fmt::Display for TimerToken {
     }
 }
 
+/// The class of an application callback, used by
+/// [`Application::rng_free`] to declare which callbacks never touch the
+/// simulation-wide RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallbackClass {
+    /// [`Application::on_start`].
+    Start,
+    /// [`Application::on_receive`] / [`Application::on_receive_batch`].
+    Receive,
+    /// [`Application::on_timer`].
+    Timer,
+}
+
 /// The behaviour installed on a node.
 ///
 /// All callbacks receive a [`Context`] used to emit frames, arm timers and
 /// append audit-log lines. Implementations must be `'static` (they are boxed
 /// into the engine) and should be deterministic given the context RNG.
+/// `Send` lets the sharded execution mode move node state to worker
+/// threads; applications hold plain owned data, so this is free.
 ///
 /// The supertrait [`Any`] enables downcasting a `dyn Application` back to its
 /// concrete type for post-run inspection, e.g.
 /// `sim.app(id).downcast_ref::<MyApp>()` via trait upcasting.
-pub trait Application: Any {
+pub trait Application: Any + Send {
+    /// Declares that a class of callbacks never calls [`Context::rng`],
+    /// for any input, in any state. The sharded execution mode runs
+    /// RNG-free callbacks on worker threads and replays everything else
+    /// serially at its exact global position, so the single RNG stream is
+    /// drawn in precisely the serial order.
+    ///
+    /// The default — `false` for everything — is always correct: it makes
+    /// the engine treat every callback as potentially RNG-drawing.
+    /// Overriding for a callback that *does* draw is a contract violation
+    /// the engine turns into a panic (see [`Context::rng`]), never a
+    /// silent divergence.
+    fn rng_free(&self, _class: CallbackClass) -> bool {
+        false
+    }
+
     /// Called once when the simulation starts (or the node is added to a
     /// running simulation).
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
@@ -160,7 +252,10 @@ pub(crate) enum Command {
 pub struct Context<'a> {
     node: NodeId,
     now: SimTime,
-    rng: &'a mut StdRng,
+    /// `None` when the callback declared itself RNG-free
+    /// ([`Application::rng_free`]) and is running on a shard worker; a
+    /// draw then panics instead of silently breaking determinism.
+    rng: Option<&'a mut StdRng>,
     log: &'a mut LogBuffer,
     commands: &'a mut Vec<Command>,
 }
@@ -173,7 +268,18 @@ impl<'a> Context<'a> {
         log: &'a mut LogBuffer,
         commands: &'a mut Vec<Command>,
     ) -> Self {
-        Context { node, now, rng, log, commands }
+        Context { node, now, rng: Some(rng), log, commands }
+    }
+
+    /// A context whose RNG is inaccessible, for callbacks that declared
+    /// themselves RNG-free and run off the serial spine.
+    pub(crate) fn new_rng_free(
+        node: NodeId,
+        now: SimTime,
+        log: &'a mut LogBuffer,
+        commands: &'a mut Vec<Command>,
+    ) -> Self {
+        Context { node, now, rng: None, log, commands }
     }
 
     /// The identity of the node this callback runs on.
@@ -187,8 +293,18 @@ impl<'a> Context<'a> {
     }
 
     /// The simulation-wide deterministic random number generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the running callback declared itself RNG-free via
+    /// [`Application::rng_free`] — a misclassification that would
+    /// otherwise silently desynchronize the sharded execution mode from
+    /// the serial oracle.
     pub fn rng(&mut self) -> &mut StdRng {
-        self.rng
+        self.rng.as_deref_mut().expect(
+            "Context::rng called from a callback whose Application::rng_free \
+             classification declared it RNG-free",
+        )
     }
 
     /// Queues a broadcast frame for transmission on the shared medium.

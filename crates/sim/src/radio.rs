@@ -275,7 +275,7 @@ impl Default for LinkOverride {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChannelModel {
     fading: Option<FadingConfig>,
-    overrides: BTreeMap<(u16, u16), LinkOverride>,
+    overrides: BTreeMap<(u32, u32), LinkOverride>,
 }
 
 impl ChannelModel {
@@ -327,7 +327,7 @@ impl ChannelModel {
 
 /// Undirected link key: fading and overrides apply to the edge, not to a
 /// direction, so both directions share one chain and one RNG stream.
-fn link_key(a: NodeId, b: NodeId) -> (u16, u16) {
+fn link_key(a: NodeId, b: NodeId) -> (u32, u32) {
     if a.0 <= b.0 {
         (a.0, b.0)
     } else {
@@ -337,9 +337,18 @@ fn link_key(a: NodeId, b: NodeId) -> (u16, u16) {
 
 /// splitmix64-style mix of the simulation seed and a link key into the
 /// seed of that link's private RNG stream.
-fn link_seed(seed: u64, key: (u16, u16)) -> u64 {
-    let mut z =
-        seed ^ ((u64::from(key.0) << 16) | u64::from(key.1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+///
+/// Links whose endpoints both fit 16 bits pack exactly as the original
+/// 16-bit formula did, so per-link streams (and everything pinned on
+/// them) are unchanged for every historical scenario; wider identities
+/// pack into the upper word instead.
+fn link_seed(seed: u64, key: (u32, u32)) -> u64 {
+    let packed = if key.0 < 1 << 16 && key.1 < 1 << 16 {
+        (u64::from(key.0) << 16) | u64::from(key.1)
+    } else {
+        (u64::from(key.0) << 32) | u64::from(key.1)
+    };
+    let mut z = seed ^ packed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -354,7 +363,7 @@ struct LinkFade {
 }
 
 impl LinkFade {
-    fn new(seed: u64, key: (u16, u16)) -> Self {
+    fn new(seed: u64, key: (u32, u32)) -> Self {
         LinkFade { rng: StdRng::seed_from_u64(link_seed(seed, key)), bad: false }
     }
 }
@@ -366,7 +375,7 @@ impl LinkFade {
 pub struct ChannelState {
     model: ChannelModel,
     seed: u64,
-    links: BTreeMap<(u16, u16), LinkFade>,
+    links: BTreeMap<(u32, u32), LinkFade>,
 }
 
 impl ChannelState {

@@ -36,8 +36,8 @@ fn main() {
             attacker,
             LinkSpoofing::permanent(SpoofVariant::AdvertiseNonExistent { fake: vec![phantom] }),
         )
-        .liar(1, LiarPolicy::CoverFor { accomplices: vec![NodeId(attacker as u16)] })
-        .liar(3, LiarPolicy::CoverFor { accomplices: vec![NodeId(attacker as u16)] })
+        .liar(1, LiarPolicy::CoverFor { accomplices: vec![NodeId(attacker as u32)] })
+        .liar(3, LiarPolicy::CoverFor { accomplices: vec![NodeId(attacker as u32)] })
         .duration(SimDuration::from_secs(120))
         .run();
 
@@ -56,14 +56,14 @@ fn main() {
     }
 
     println!("\n--- verdicts against the attacker ---");
-    for (observer, record) in report.convictions_of(NodeId(attacker as u16)) {
+    for (observer, record) in report.convictions_of(NodeId(attacker as u32)) {
         println!(
             "  {observer} condemned N{attacker}: Detect={:+.2} ± {:.2} after {} witnesses ({} answered) at {}",
             record.detect, record.margin, record.witnesses, record.answered, record.at
         );
     }
 
-    let detected = report.detected(NodeId(attacker as u16));
+    let detected = report.detected(NodeId(attacker as u32));
     let fps = report.false_positives().len();
     println!("\nDetected: {detected}   False positives: {fps}");
     println!(

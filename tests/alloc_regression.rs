@@ -12,6 +12,8 @@
 //! The application under test is a deliberately allocation-free beacon
 //! (payload cloned from a shared `Bytes`, default batch drain, no logs):
 //! the guard measures the *engine's* steady state, not the protocol's.
+//! A second guard pins the `neighbors_in_range_into` query: range queries
+//! into a caller-owned buffer must not allocate either.
 #![allow(unsafe_code)] // the counting global allocator is the whole point
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -93,14 +95,14 @@ fn steady_state_batched_delivery_allocates_nothing() {
 
     // Warm-up: grow every heap, slab and scratch buffer to its working set.
     sim.run_for(SimDuration::from_secs(5));
-    let delivered_before: u64 = (0..n).map(|i| sim.stats().node(NodeId(i as u16)).received).sum();
+    let delivered_before: u64 = (0..n).map(|i| sim.stats().node(NodeId(i as u32)).received).sum();
 
     let before = ALLOCS.load(Ordering::Relaxed);
     sim.run_for(SimDuration::from_secs(5));
     let during = ALLOCS.load(Ordering::Relaxed) - before;
 
     let delivered: u64 =
-        (0..n).map(|i| sim.stats().node(NodeId(i as u16)).received).sum::<u64>() - delivered_before;
+        (0..n).map(|i| sim.stats().node(NodeId(i as u32)).received).sum::<u64>() - delivered_before;
     assert!(
         delivered > 100_000,
         "measurement window too quiet to be meaningful: {delivered} deliveries"
@@ -109,5 +111,47 @@ fn steady_state_batched_delivery_allocates_nothing() {
         during, 0,
         "batched delivery allocated {during} times across {delivered} deliveries; \
          the steady-state pipeline must not touch the allocator at all"
+    );
+}
+
+#[test]
+fn neighbor_queries_into_a_buffer_allocate_nothing() {
+    let n = 256;
+    let arena = topologies::arena_for_mean_degree(n, 150.0, 10.0);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+    let positions = topologies::random_geometric(n, &arena, &mut rng);
+    let mut sim = SimulatorBuilder::new(2)
+        .arena(arena)
+        .radio(RadioConfig::unit_disk(150.0))
+        .scan_mode(ScanMode::Grid)
+        .expected_nodes(n)
+        .build();
+    for &p in &positions {
+        sim.add_node(Box::new(Beacon { payload: Bytes::from_static(b"x") }), p);
+    }
+    sim.run_for(SimDuration::from_millis(10));
+
+    // Warm-up: grow the buffer and the grid's gather scratch to their
+    // working sets once.
+    let mut buf = Vec::new();
+    for i in 0..n {
+        sim.neighbors_in_range_into(NodeId(i as u32), &mut buf);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut total = 0usize;
+    for _ in 0..16 {
+        for i in 0..n {
+            sim.neighbors_in_range_into(NodeId(i as u32), &mut buf);
+            total += buf.len();
+        }
+    }
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert!(total > 10_000, "mesh too sparse to be meaningful: {total} neighbor hits");
+    assert_eq!(
+        during, 0,
+        "neighbors_in_range_into allocated {during} times across {total} neighbor hits; \
+         the into-buffer query must reuse the caller's storage"
     );
 }

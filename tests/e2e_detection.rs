@@ -19,7 +19,7 @@ fn fast_detector() -> DetectorConfig {
     }
 }
 
-fn spoof_phantom(fake: u16) -> LinkSpoofing {
+fn spoof_phantom(fake: u32) -> LinkSpoofing {
     LinkSpoofing::permanent(SpoofVariant::AdvertiseNonExistent { fake: vec![NodeId(fake)] })
 }
 

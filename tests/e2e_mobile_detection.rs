@@ -25,7 +25,7 @@ fn walkers(speed_min: f64, speed_max: f64) -> MobilityModel {
     MobilityModel::RandomWaypoint { speed_min, speed_max, pause: SimDuration::from_secs(2) }
 }
 
-fn spoof_phantom(fake: u16) -> LinkSpoofing {
+fn spoof_phantom(fake: u32) -> LinkSpoofing {
     LinkSpoofing::permanent(SpoofVariant::AdvertiseNonExistent { fake: vec![NodeId(fake)] })
 }
 

@@ -109,9 +109,9 @@ fn stale_tc_replay_never_regresses_topology() {
     // range 150); routes must exist and stay within the grid's diameter
     // plus slack. A topology poisoned by stale ANSNs would route into
     // dead links or lose destinations.
-    for i in 0..9u16 {
+    for i in 0..9u32 {
         let d = sim.app_as::<DetectorNode>(NodeId(i)).expect("detector");
-        for j in 0..9u16 {
+        for j in 0..9u32 {
             if i == j {
                 continue;
             }

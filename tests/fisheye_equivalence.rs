@@ -47,7 +47,7 @@ fn fast_detector() -> DetectorConfig {
     }
 }
 
-fn spoof_phantom(fake: u16) -> LinkSpoofing {
+fn spoof_phantom(fake: u32) -> LinkSpoofing {
     LinkSpoofing::permanent(SpoofVariant::AdvertiseNonExistent { fake: vec![NodeId(fake)] })
 }
 
@@ -179,7 +179,7 @@ fn scoped_fisheye_reaches_identical_convictions_on_e2e_matrix() {
             case.label
         );
         if let Some(a) = case.attacker {
-            assert!(scoped.detected(NodeId(a as u16)), "{}: attacker escaped", case.label);
+            assert!(scoped.detected(NodeId(a as u32)), "{}: attacker escaped", case.label);
         }
     }
 }

@@ -145,12 +145,12 @@ fn corrupted_rlog_text_errs_instead_of_panicking() {
     assert!(FlightRecorder::from_rlog(&spliced).is_err(), "a garbled HELLO_RX line was accepted");
 
     for bad in [
-        "99 N70000 NBR_ADD addr=N1",   // node id overflows u16
-        "99 X5 NBR_ADD addr=N1",       // missing N prefix
-        "99 N3 NBR_ADD addr=N-2",      // negative node id
-        "99 N3 NO_SUCH_TAG addr=N1",   // unknown record tag
-        "99 N3",                       // record part missing entirely
-        "notatime N3 NBR_ADD addr=N1", // unparseable timestamp
+        "99 N5000000000 NBR_ADD addr=N1", // node id overflows u32
+        "99 X5 NBR_ADD addr=N1",          // missing N prefix
+        "99 N3 NBR_ADD addr=N-2",         // negative node id
+        "99 N3 NO_SUCH_TAG addr=N1",      // unknown record tag
+        "99 N3",                          // record part missing entirely
+        "notatime N3 NBR_ADD addr=N1",    // unparseable timestamp
     ] {
         assert!(FlightRecorder::from_rlog(bad).is_err(), "accepted corrupt rlog line `{bad}`");
     }

@@ -85,7 +85,7 @@ fn random_waypoint_mobility_is_byte_identical() {
                 .radio(RadioConfig::unit_disk(170.0).with_loss(0.1))
                 .mobility_tick(SimDuration::from_millis(250))
                 .build();
-            for i in 0..20u16 {
+            for i in 0..20u32 {
                 sim.add_mobile_node(
                     olsr_boxed(),
                     Position::new(f64::from(i % 5) * 110.0, f64::from(i / 5) * 110.0),

@@ -38,12 +38,12 @@ fn build_sim(positions: &[Position], range: f64, seed: u64, loss: f64) -> Simula
 fn assert_routes_match_ground_truth(sim: &Simulator, positions: &[Position], range: f64) {
     for (i, _) in positions.iter().enumerate() {
         let truth = bfs_distances(positions, range, i);
-        let node = sim.app_as::<OlsrNode>(NodeId(i as u16)).unwrap();
+        let node = sim.app_as::<OlsrNode>(NodeId(i as u32)).unwrap();
         for (j, expected) in truth.iter().enumerate() {
             if i == j {
                 continue;
             }
-            let route = node.routing_table().route_to(NodeId(j as u16));
+            let route = node.routing_table().route_to(NodeId(j as u32));
             match expected {
                 Some(hops) => {
                     let r = route.unwrap_or_else(|| {
@@ -97,7 +97,7 @@ fn random_topology_with_loss_still_converges() {
     // reachability plus sane bounds instead of exact equality.
     for i in 0..positions.len() {
         let truth = bfs_distances(&positions, 170.0, i);
-        let node = sim.app_as::<OlsrNode>(NodeId(i as u16)).unwrap();
+        let node = sim.app_as::<OlsrNode>(NodeId(i as u32)).unwrap();
         for (j, expected) in truth.iter().enumerate() {
             if i == j {
                 continue;
@@ -105,7 +105,7 @@ fn random_topology_with_loss_still_converges() {
             let hops = expected.expect("random_connected graph must be connected");
             let route = node
                 .routing_table()
-                .route_to(NodeId(j as u16))
+                .route_to(NodeId(j as u32))
                 .unwrap_or_else(|| panic!("N{i} lost route to N{j}"));
             assert!(
                 route.hops >= hops && route.hops <= hops + 2,
@@ -123,9 +123,9 @@ fn mpr_sets_cover_two_hop_neighborhood_network_wide() {
     sim.run_for(SimDuration::from_secs(30));
     let now = sim.now();
     for i in 0..positions.len() {
-        let node = sim.app_as::<OlsrNode>(NodeId(i as u16)).unwrap();
+        let node = sim.app_as::<OlsrNode>(NodeId(i as u32)).unwrap();
         let sym = node.symmetric_neighbors(now);
-        let targets = node.two_hop_set().two_hop_addrs(now, NodeId(i as u16), &sym);
+        let targets = node.two_hop_set().two_hop_addrs(now, NodeId(i as u32), &sym);
         for t in targets {
             let vias = node.two_hop_set().vias_for(t, now);
             assert!(

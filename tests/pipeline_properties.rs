@@ -15,7 +15,7 @@ use trustlink_olsr::wire::{decode_packet, encode_packet};
 use trustlink_sim::{NodeId, SimDuration, SimTime};
 
 fn node_id() -> impl Strategy<Value = NodeId> {
-    (0u16..1000).prop_map(NodeId)
+    (0u32..1000).prop_map(NodeId)
 }
 
 fn node_list() -> impl Strategy<Value = Vec<NodeId>> {
@@ -244,14 +244,14 @@ proptest! {
         kind in 0u8..4,
         fill in any::<u32>(),
     ) {
-        // Node fields outside `N0..N65535` (overflow, missing prefix,
+        // Node fields outside `N0..N4294967295` (overflow, missing prefix,
         // negatives, empty) must come back as `Err`, never panic and never
         // a silently-wrapped id.
         let bogus = match kind {
-            0 => format!("N{}", 65_536u64 + u64::from(fill)), // overflow
-            1 => format!("x{fill}"),                          // missing N prefix
-            2 => format!("N-{}", fill % 10_000),              // negative
-            _ => String::new(),                               // empty
+            0 => format!("N{}", 4_294_967_296u64 + u64::from(fill)), // overflow
+            1 => format!("x{fill}"),                                 // missing N prefix
+            2 => format!("N-{}", fill % 10_000),                     // negative
+            _ => String::new(),                                      // empty
         };
         let line = format!("{at_micros} {bogus} NBR_ADD addr=N1");
         prop_assert!(from_rlog_line(&line).is_err(), "accepted bogus node `{}`", bogus);
@@ -294,7 +294,7 @@ proptest! {
 
     #[test]
     fn signature_engine_never_panics(
-        suspects in proptest::collection::vec(0u16..8, 0..64),
+        suspects in proptest::collection::vec(0u32..8, 0..64),
         kinds in proptest::collection::vec(0u8..4, 0..64),
     ) {
         use trustlink_ids::events::{DetectionEvent, MisbehaviourReason};

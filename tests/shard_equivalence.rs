@@ -1,0 +1,236 @@
+//! Sharded-vs-serial event loop equivalence suite.
+//!
+//! `ExecutionMode::Sharded` is a pure optimization of the event loop: for
+//! any `(seed, configuration, worker count)`, a sharded run and a serial
+//! run produce **byte-identical** flight recordings, audit logs, traffic
+//! statistics and verdict streams. The sharded engine executes bounded
+//! time epochs (lookahead = the radio's base delay) on worker shards,
+//! then replays the recorded outcomes on the main thread in exact
+//! `(time, seq)` order, drawing all randomness serially — so the RNG
+//! stream cannot diverge no matter how the OS schedules the workers.
+//! These tests pin that contract across stationary and mobile OLSR
+//! networks, fading channels, fisheye flooding, churn and full detection
+//! scenarios, at 1, 2, 4 and 8 workers.
+
+use proptest::prelude::*;
+use trustlink_core::prelude::*;
+use trustlink_core::DetectorConfig;
+use trustlink_ids::investigation::InvestigationConfig;
+use trustlink_olsr::{FisheyeRings, FloodScope, OlsrConfig, OlsrNode};
+use trustlink_sim::{ChannelModel, FadingConfig};
+use trustlink_tests::{assert_recordings_identical, text_fingerprint};
+
+/// Worker counts every scenario is replayed at. `TRUSTLINK_WORKERS=<n>`
+/// narrows the sweep to one count (mirroring `TRUSTLINK_RECOMPUTE`), so CI
+/// can pin a specific shard width without editing the suite.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("TRUSTLINK_WORKERS").as_deref() {
+        Ok(n) => {
+            vec![n.parse().expect("TRUSTLINK_WORKERS must be a positive integer")]
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Builds, scripts and compares one simulator per execution mode: typed
+/// event streams first, rendered text fingerprints second.
+fn assert_modes_identical(
+    label: &str,
+    seed: u64,
+    build_and_run: impl Fn(SimulatorBuilder) -> Simulator,
+) {
+    let run = |mode: ExecutionMode| {
+        let builder = SimulatorBuilder::new(seed).execution_mode(mode);
+        build_and_run(builder)
+    };
+    let serial = run(ExecutionMode::Serial);
+    let serial_text = text_fingerprint(&serial);
+    for workers in worker_counts() {
+        let sharded = run(ExecutionMode::Sharded { workers });
+        assert_recordings_identical(label, &serial.flight_recorder(), &sharded.flight_recorder());
+        assert_eq!(
+            serial_text,
+            text_fingerprint(&sharded),
+            "{label}: serial and sharded ({workers} workers) diverged for seed {seed}"
+        );
+    }
+}
+
+fn olsr_boxed() -> Box<OlsrNode> {
+    Box::new(OlsrNode::new(OlsrConfig::fast()))
+}
+
+fn fast_detector() -> DetectorConfig {
+    DetectorConfig {
+        analysis_interval: SimDuration::from_millis(500),
+        investigation: InvestigationConfig {
+            timeout: SimDuration::from_secs(3),
+            max_witnesses: 16,
+        },
+        warmup: SimDuration::from_secs(10),
+        trust_slot_interval: SimDuration::from_secs(3),
+        ..DetectorConfig::default()
+    }
+}
+
+#[test]
+fn stationary_olsr_mesh_is_byte_identical() {
+    for seed in [1, 7] {
+        assert_modes_identical("stationary mesh", seed, |builder| {
+            let mut sim = builder
+                .arena(Arena::new(700.0, 700.0))
+                .radio(RadioConfig::unit_disk(160.0).with_loss(0.1))
+                .build();
+            for p in trustlink_sim::topologies::grid(36, 6, 110.0) {
+                sim.add_node(olsr_boxed(), p);
+            }
+            sim.run_for(SimDuration::from_secs(8));
+            sim
+        });
+    }
+}
+
+#[test]
+fn mobility_and_churn_are_byte_identical() {
+    assert_modes_identical("mobile churn", 13, |builder| {
+        let mut sim = builder
+            .arena(Arena::new(500.0, 500.0))
+            .radio(RadioConfig::unit_disk(170.0).with_loss(0.1))
+            .mobility_tick(SimDuration::from_millis(250))
+            .build();
+        for i in 0..20u32 {
+            sim.add_mobile_node(
+                olsr_boxed(),
+                Position::new(f64::from(i % 5) * 110.0, f64::from(i / 5) * 110.0),
+                MobilityModel::RandomWaypoint {
+                    speed_min: 5.0,
+                    speed_max: 25.0,
+                    pause: SimDuration::from_secs(1),
+                },
+            );
+        }
+        sim.run_for(SimDuration::from_secs(3));
+        sim.kill(NodeId(12));
+        sim.kill(NodeId(0));
+        sim.run_for(SimDuration::from_secs(2));
+        sim.revive(NodeId(12));
+        sim.run_for(SimDuration::from_secs(3));
+        sim
+    });
+}
+
+#[test]
+fn bursty_fading_channel_is_byte_identical() {
+    // Per-link Gilbert–Elliott fading draws from per-link RNG streams in
+    // the radio fan-out, which the sharded engine keeps on the main
+    // thread — the draws must land in the same order.
+    assert_modes_identical("bursty fading", 11, |builder| {
+        let mut sim = builder
+            .arena(Arena::new(700.0, 700.0))
+            .radio(RadioConfig::unit_disk(160.0).with_loss(0.1))
+            .channel_model(ChannelModel::new().with_fading(FadingConfig::bursty(0.05, 0.25, 0.8)))
+            .build();
+        for p in trustlink_sim::topologies::grid(16, 4, 110.0) {
+            sim.add_node(olsr_boxed(), p);
+        }
+        sim.run_for(SimDuration::from_secs(8));
+        sim
+    });
+}
+
+#[test]
+fn fisheye_flooding_is_byte_identical() {
+    // Graded TC scopes change per-node timer cadence, giving shards
+    // uneven event densities.
+    assert_modes_identical("fisheye flooding", 5, |builder| {
+        let cfg = OlsrConfig::fast().with_flood_scope(FloodScope::Fisheye(FisheyeRings::default()));
+        let mut sim = builder
+            .arena(Arena::new(900.0, 900.0))
+            .radio(RadioConfig::unit_disk(160.0).with_loss(0.1))
+            .expected_nodes(25)
+            .build();
+        for p in trustlink_sim::topologies::grid(25, 5, 110.0) {
+            sim.add_node(Box::new(OlsrNode::new(cfg.clone())), p);
+        }
+        sim.run_for(SimDuration::from_secs(10));
+        sim
+    });
+}
+
+#[test]
+fn full_detection_scenario_is_byte_identical() {
+    // The whole stack — OLSR + detectors + attacker + liar — through the
+    // ScenarioBuilder's execution-mode knob, including verdict streams.
+    for seed in [7, 19] {
+        let run = |mode: ExecutionMode| {
+            ScenarioBuilder::new(seed, 9)
+                .topology(Topology::Grid { cols: 3, spacing: 100.0 })
+                .radio(RadioConfig::unit_disk(170.0).with_loss(0.05))
+                .detector(fast_detector())
+                .attacker(
+                    8,
+                    LinkSpoofing::permanent(SpoofVariant::AdvertiseNonExistent {
+                        fake: vec![NodeId(99)],
+                    }),
+                )
+                .liar(5, LiarPolicy::CoverFor { accomplices: vec![NodeId(8)] })
+                .execution_mode(mode)
+                .duration(SimDuration::from_secs(45))
+                .run()
+        };
+        let serial = run(ExecutionMode::Serial);
+        for workers in worker_counts() {
+            let sharded = run(ExecutionMode::Sharded { workers });
+            assert_recordings_identical(
+                "detection scenario",
+                &serial.sim.flight_recorder(),
+                &sharded.sim.flight_recorder(),
+            );
+            assert_eq!(
+                text_fingerprint(&serial.sim),
+                text_fingerprint(&sharded.sim),
+                "detection scenario diverged for seed {seed} at {workers} workers"
+            );
+            assert_eq!(
+                serial.verdicts, sharded.verdicts,
+                "verdict streams diverged for seed {seed} at {workers} workers"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Adversarial epoch-boundary interleavings never reorder the
+    /// `(time, seq)` merge: any random mesh shape, loss rate, duration and
+    /// worker count replays byte-identically against the serial oracle.
+    /// Durations are drawn in sub-lookahead increments so epoch windows
+    /// get cut at arbitrary offsets relative to timer and frame instants.
+    #[test]
+    fn random_meshes_are_byte_identical(
+        seed in 0u64..1000,
+        cols in 3usize..6,
+        rows in 2usize..5,
+        loss in 0u32..30,
+        workers in 1usize..9,
+        extra_us in 0u64..2000,
+    ) {
+        let run = |mode: ExecutionMode| {
+            let mut sim = trustlink_sim::SimulatorBuilder::new(seed)
+                .arena(Arena::new(1000.0, 1000.0))
+                .radio(RadioConfig::unit_disk(160.0).with_loss(f64::from(loss) / 100.0))
+                .execution_mode(mode)
+                .build();
+            for p in trustlink_sim::topologies::grid(cols * rows, cols, 110.0) {
+                sim.add_node(olsr_boxed(), p);
+            }
+            sim.run_for(SimDuration::from_secs(2) + SimDuration::from_micros(extra_us));
+            sim
+        };
+        let serial = run(ExecutionMode::Serial);
+        let sharded = run(ExecutionMode::Sharded { workers });
+        assert_recordings_identical("random mesh", &serial.flight_recorder(), &sharded.flight_recorder());
+        prop_assert_eq!(text_fingerprint(&serial), text_fingerprint(&sharded));
+    }
+}
